@@ -1,0 +1,43 @@
+"""Experiment A4 -- Design-space sweep: NA buffer size vs GDR benefit.
+
+Sweeps the NA buffer from starved to oversized and measures HiHGNN with
+and without GDR-HGNN. Expected shape: GDR's access reduction and
+speedup grow as the buffer shrinks (the paper's motivating regime) and
+fade once the whole working set fits -- quantifying *why* Table 3's
+14.52 MB buffer still benefits from a frontend.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.analysis.report import ascii_table
+from repro.analysis.sweeps import buffer_sensitivity
+from repro.graph.datasets import load_dataset
+
+BUFFER_MBS = (2.0, 4.0, 8.0, 14.52, 32.0)
+
+
+def test_buffer_sweep(benchmark):
+    graph = load_dataset("dblp", seed=1, scale=min(BENCH_SCALE, 0.5))
+
+    points = run_once(
+        benchmark,
+        lambda: buffer_sensitivity(graph, "rgcn", buffer_mbs=BUFFER_MBS),
+    )
+    rows = [
+        [f"{p.na_buffer_mb:g}", f"{p.base_na_hit:.0%}", f"{p.gdr_na_hit:.0%}",
+         f"{p.speedup:.2f}x", f"{p.access_ratio:.3f}"]
+        for p in points
+    ]
+    print()
+    print(ascii_table(
+        ["NA buffer MB", "hit (HiHGNN)", "hit (+GDR)", "speedup",
+         "access ratio"],
+        rows, title="A4: NA buffer size sensitivity (DBLP, RGCN)",
+    ))
+
+    # GDR never hurts at any capacity...
+    for p in points:
+        assert p.speedup >= 0.98
+        assert p.access_ratio <= 1.02
+    # ...and its access reduction is at least as strong at the smallest
+    # buffer as at the largest (the motivating trend).
+    assert points[0].access_ratio <= points[-1].access_ratio + 0.02

@@ -1,0 +1,93 @@
+"""Experiment A1 -- Ablation: where does the locality come from?
+
+Compares, on the thrashing-heaviest graph (DBLP term->paper), the NA
+buffer behaviour of:
+
+- the original CSC-order execution,
+- degree-sorted scheduling (software baseline),
+- I-GCN islandization (related-work baseline),
+- community scheduling *without* the subgraph split,
+- full GDR restructuring (subgraphs + community schedule),
+- GDR with the paper-faithful Algorithm 2 backbone.
+
+Design-choice question answered: the community schedule carries most of
+the locality, the subgraph split keeps it robust across capacities, and
+the backbone strategy (König vs Algorithm 2) barely matters -- which is
+why the hardware can use the cheap one.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.accelerator.stages import gather_in_neighbors
+from repro.analysis.report import ascii_table
+from repro.graph.datasets import load_dataset
+from repro.graph.semantic import build_semantic_graphs
+from repro.memory.buffer import FeatureBuffer
+from repro.restructure.islandization import degree_sort_schedule, islandize
+from repro.restructure.recouple import _community_schedule
+from repro.restructure.restructure import GraphRestructurer
+
+FEATURE_BYTES = 2048
+CAPACITY = 1024  # entries; tight relative to the graph's ~7.7k sources
+
+
+def _replay(leaves):
+    buffer = FeatureBuffer(CAPACITY * FEATURE_BYTES, FEATURE_BYTES)
+    for sub, schedule in leaves:
+        if schedule is None:
+            schedule = sub.active_dst()
+        buffer.access_many(gather_in_neighbors(sub.csc, schedule))
+    return buffer
+
+
+def test_ablation_restructure(benchmark):
+    graph = load_dataset("dblp", seed=1, scale=BENCH_SCALE)
+    target = max(build_semantic_graphs(graph), key=lambda sg: sg.num_edges)
+    budget = max(32, CAPACITY // 16)
+
+    def run_all():
+        variants = {}
+        variants["original (csc)"] = [(target, None)]
+        variants["degree sorted"] = [(target, degree_sort_schedule(target))]
+        islands = islandize(target, max_island_vertices=2 * CAPACITY)
+        variants["islandization"] = [(
+            target, np.concatenate([i.dst_vertices for i in islands])
+        )]
+        variants["schedule only"] = [(
+            target, _community_schedule(target, budget)
+        )]
+        gdr = GraphRestructurer(
+            community_budget=budget, validate=False
+        ).restructure(target)
+        variants["gdr (konig)"] = list(zip(gdr.subgraphs, gdr.dst_schedules))
+        paper = GraphRestructurer(
+            backbone_strategy="paper", community_budget=budget, validate=False
+        ).restructure(target)
+        variants["gdr (algorithm 2)"] = list(
+            zip(paper.subgraphs, paper.dst_schedules)
+        )
+        return {name: _replay(leaves) for name, leaves in variants.items()}
+
+    buffers = run_once(benchmark, run_all)
+    rows = [
+        [name, f"{buf.stats.hit_ratio:.1%}", buf.stats.misses,
+         buf.redundant_accesses()]
+        for name, buf in buffers.items()
+    ]
+    print()
+    print(ascii_table(
+        ["variant", "hit ratio", "misses", "redundant"],
+        rows,
+        title=f"A1: NA locality ablation (DBLP term->paper, "
+              f"{CAPACITY}-entry buffer)",
+    ))
+
+    stats = {name: buf.stats for name, buf in buffers.items()}
+    # GDR beats the naive and software baselines decisively.
+    assert stats["gdr (konig)"].misses < stats["original (csc)"].misses * 0.7
+    assert stats["gdr (konig)"].misses < stats["degree sorted"].misses
+    assert stats["gdr (konig)"].misses <= stats["islandization"].misses * 1.1
+    # Backbone strategy is a second-order effect.
+    konig, alg2 = stats["gdr (konig)"].misses, stats["gdr (algorithm 2)"].misses
+    assert abs(konig - alg2) < 0.25 * max(konig, alg2)

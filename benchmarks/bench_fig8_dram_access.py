@@ -1,0 +1,50 @@
+"""Experiment F8 -- Fig. 8: number of DRAM accesses normalized to T4.
+
+Paper values: HiHGNN+GDR-HGNN performs only 4.8% of T4's accesses, 8.7%
+of A100's, and 57.1% of HiHGNN's. Required shape: accelerators access
+DRAM order(s)-of-magnitude less often than the GPUs (whole-feature
+bursts vs line-granular requests, no DGL intermediates), and GDR cuts
+HiHGNN's accesses by a large fraction, most on DBLP.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import PLATFORMS
+from repro.analysis.report import ascii_table
+
+PAPER_GEOMEAN = {"a100": 0.551, "hihgnn": 0.084, "hihgnn+gdr": 0.048}
+
+
+def test_fig8_dram_accesses(benchmark, suite):
+    def compute():
+        suite.run_grid()
+        return suite.figure8()
+
+    table = run_once(benchmark, compute)
+    rows = []
+    for model in suite.config.models:
+        for dataset in suite.config.datasets:
+            cell = table[model][dataset]
+            rows.append([model, dataset] +
+                        [f"{cell[p]:.4f}" for p in PLATFORMS])
+    geo = table["GEOMEAN"]["all"]
+    rows.append(["GEOMEAN", "all"] + [f"{geo[p]:.4f}" for p in PLATFORMS])
+    rows.append(["paper", "geomean", "1.0000",
+                 f"{PAPER_GEOMEAN['a100']:.4f}",
+                 f"{PAPER_GEOMEAN['hihgnn']:.4f}",
+                 f"{PAPER_GEOMEAN['hihgnn+gdr']:.4f}"])
+    print()
+    print(ascii_table(["model", "dataset"] + list(PLATFORMS), rows,
+                      title="Fig. 8: DRAM accesses normalized to T4"))
+
+    # Shape assertions.
+    assert geo["a100"] < 1.0
+    assert geo["hihgnn"] < 0.2  # order-of-magnitude below the GPUs
+    assert geo["hihgnn+gdr"] < geo["hihgnn"]
+    # GDR-vs-HiHGNN reduction strongest on DBLP.
+    ratio = {
+        dataset: table["rgcn"][dataset]["hihgnn+gdr"]
+        / table["rgcn"][dataset]["hihgnn"]
+        for dataset in suite.config.datasets
+    }
+    assert ratio["dblp"] == min(ratio.values())
+    assert ratio["dblp"] < 0.8  # paper: 0.571 on average

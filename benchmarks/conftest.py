@@ -1,0 +1,26 @@
+"""Shared state for the benchmark suite.
+
+The full-scale evaluation grid is expensive, so one session-scoped
+:class:`EvaluationSuite` is shared by every benchmark that needs it.
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to trade fidelity for speed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import EvaluationConfig, EvaluationSuite
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def suite() -> EvaluationSuite:
+    return EvaluationSuite(EvaluationConfig(scale=BENCH_SCALE))
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

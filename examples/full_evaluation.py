@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The paper's §5 evaluation: all four platforms, all models, all datasets.
+
+Regenerates Figures 7, 8 and 9 plus the Fig. 10 area/power shares and
+the §3 L2 hit ratios. At ``--scale 1.0`` this is the full published
+configuration (takes a minute or two); smaller scales give a quick look.
+
+Run:  python examples/full_evaluation.py [--scale 1.0] [--models rgcn,rgat]
+"""
+
+import argparse
+
+from repro.analysis.experiments import (
+    PLATFORMS,
+    EvaluationConfig,
+    EvaluationSuite,
+)
+from repro.analysis.report import ascii_table
+
+
+def grid_to_rows(table, config, fmt="{:.2f}") -> list[list]:
+    rows = []
+    for model in list(config.models) + ["GEOMEAN"]:
+        datasets = config.datasets if model != "GEOMEAN" else ("all",)
+        for dataset in datasets:
+            cell = table[model][dataset]
+            rows.append(
+                [model, dataset] + [fmt.format(cell[p]) for p in PLATFORMS]
+            )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--models", default="rgcn,rgat,simple_hgn")
+    args = parser.parse_args()
+
+    config = EvaluationConfig(
+        models=tuple(args.models.split(",")), scale=args.scale
+    )
+    suite = EvaluationSuite(config)
+    suite.run_grid()
+    headers = ["model", "dataset"] + list(PLATFORMS)
+
+    print(ascii_table(
+        headers, grid_to_rows(suite.figure7(), config),
+        title="\nFig. 7 -- Speedup over T4 (higher is better)",
+    ))
+    print(ascii_table(
+        headers, grid_to_rows(suite.figure8(), config, fmt="{:.4f}"),
+        title="\nFig. 8 -- DRAM accesses normalized to T4 (lower is better)",
+    ))
+    print(ascii_table(
+        headers, grid_to_rows(suite.figure9(), config, fmt="{:.3f}"),
+        title="\nFig. 9 -- DRAM bandwidth utilization",
+    ))
+
+    l2 = suite.section3_l2()
+    print("\n§3 -- T4 L2 hit ratio during RGCN NA "
+          "(paper: IMDB 30.1%, DBLP 17.5%):")
+    for dataset, ratio in l2.items():
+        print(f"  {dataset:5s}: {ratio:6.1%}")
+
+    f10 = suite.figure10()
+    print("\nFig. 10 -- GDR-HGNN share of the combined system "
+          "(paper: 2.30% area / 0.46% power):")
+    print(f"  area : {f10['gdr_area_mm2']:.2f} mm^2 "
+          f"({f10['gdr_area_share']:.2%} of {f10['total_area_mm2']:.1f} mm^2)")
+    print(f"  power: {f10['gdr_power_mw']:.1f} mW "
+          f"({f10['gdr_power_share']:.2%} of {f10['total_power_w']:.1f} W)")
+
+
+if __name__ == "__main__":
+    main()

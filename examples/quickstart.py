@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: load a dataset, restructure a semantic graph, run a model.
+
+Walks the three core steps of the library in under a minute:
+
+1. build a synthetic heterogeneous dataset matched to the paper's
+   Table 2 (here: IMDB),
+2. decouple + recouple its largest semantic graph and inspect the
+   backbone partition,
+3. run RGCN over the original and the restructured subgraphs and verify
+   the outputs are identical.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GraphRestructurer, load_dataset
+from repro.analysis.report import ascii_table
+from repro.graph import build_semantic_graphs, graph_stats
+from repro.models import get_model, make_features
+from repro.models.base import ModelConfig
+
+
+def main() -> None:
+    # -- 1. Dataset ----------------------------------------------------
+    graph = load_dataset("imdb", seed=7, scale=0.25)
+    print(f"Loaded {graph}")
+    semantic_graphs = build_semantic_graphs(graph)
+    rows = [
+        [str(sg.relation), sg.num_src, sg.num_dst, sg.num_edges,
+         round(graph_stats(sg).density, 5)]
+        for sg in semantic_graphs
+    ]
+    print(ascii_table(
+        ["relation", "src", "dst", "edges", "density"], rows,
+        title="\nSemantic graphs (SGB stage output)",
+    ))
+
+    # -- 2. Restructure the largest semantic graph ---------------------
+    target = max(semantic_graphs, key=lambda sg: sg.num_edges)
+    result = GraphRestructurer().restructure(target)
+    print(f"\nRestructured {target.relation}:")
+    print(f"  maximum matching : {result.matching.size} pairs")
+    print(f"  backbone         : {result.backbone_size} vertices "
+          f"(Src_in={len(result.partition.src_in)}, "
+          f"Dst_in={len(result.partition.dst_in)})")
+    for label, sub in zip(result.labels, result.subgraphs):
+        print(f"  subgraph {label:<16}: {sub.num_edges} edges")
+    result.validate()
+    print("  invariants       : vertex cover + exact edge partition OK")
+
+    # -- 3. Model execution: original vs restructured -------------------
+    config = ModelConfig(hidden_dim=64, num_heads=4, embed_dim=16)
+    model = get_model("rgcn", config)
+    features = make_features(graph, config, seed=1)
+    params = model.init_params(graph, seed=2)
+    original = model.forward(graph, features, params)
+
+    restructurer = GraphRestructurer()
+    subgraphs = []
+    for sg in semantic_graphs:
+        subgraphs.extend(restructurer.restructure(sg).subgraphs)
+    restructured = model.forward(
+        graph, features, params, semantic_graphs=subgraphs
+    )
+    worst = max(
+        float(np.abs(original[v] - restructured[v]).max()) for v in original
+    )
+    print(f"\nRGCN embeddings, original vs restructured: "
+          f"max abs diff = {worst:.2e}")
+    assert worst < 1e-9
+    print("Restructuring changes the schedule, never the math. Done.")
+
+
+if __name__ == "__main__":
+    main()

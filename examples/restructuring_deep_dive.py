@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Deep dive into the graph restructuring method itself.
+
+Shows, on one semantic graph:
+
+- what decoupling (maximum matching) finds and what the three Algorithm
+  1 implementations cost,
+- how the König backbone compares with the paper's Algorithm 2
+  selection,
+- how the three recoupled subgraphs and the community schedule shrink
+  the buffer working set, across a sweep of buffer capacities,
+- what the baselines (I-GCN islandization, degree sorting) achieve on
+  the same graph.
+
+Run:  python examples/restructuring_deep_dive.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.accelerator.stages import gather_in_neighbors
+from repro.analysis.report import ascii_table
+from repro.graph import build_semantic_graphs, load_dataset
+from repro.memory import FeatureBuffer
+from repro.restructure import (
+    GraphRestructurer,
+    degree_sort_schedule,
+    hopcroft_karp,
+    islandize,
+    maximum_matching,
+    maximum_matching_fifo,
+    select_backbone_konig,
+    select_backbone_paper,
+)
+
+FEATURE_BYTES = 2048  # one projected feature vector (512 x fp32)
+
+
+def replay(leaves, capacity_entries: int) -> tuple[float, int]:
+    """Stream NA feature reads through a buffer; (hit ratio, misses)."""
+    buffer = FeatureBuffer(capacity_entries * FEATURE_BYTES, FEATURE_BYTES)
+    for subgraph, schedule in leaves:
+        if schedule is None:
+            schedule = subgraph.active_dst()
+        buffer.access_many(gather_in_neighbors(subgraph.csc, schedule))
+    return buffer.stats.hit_ratio, buffer.stats.misses
+
+
+def main() -> None:
+    graph = load_dataset("dblp", seed=1, scale=0.5)
+    target = max(build_semantic_graphs(graph), key=lambda sg: sg.num_edges)
+    print(f"Target semantic graph: {target.relation} "
+          f"({target.num_edges} edges, {len(target.active_src())} active "
+          f"sources, {len(target.active_dst())} active destinations)")
+
+    # -- Decoupling: three implementations, one answer ------------------
+    rows = []
+    for name, matcher in (
+        ("kuhn (greedy+DFS)", maximum_matching),
+        ("Algorithm 1 FIFO", maximum_matching_fifo),
+        ("Hopcroft-Karp", hopcroft_karp),
+    ):
+        start = time.perf_counter()
+        matching = matcher(target)
+        elapsed = (time.perf_counter() - start) * 1e3
+        counters = matching.counters
+        rows.append([name, matching.size, counters.edges_scanned,
+                     counters.fifo_pushes, f"{elapsed:.1f} ms"])
+    print(ascii_table(
+        ["implementation", "matching", "edges scanned", "fifo pushes", "time"],
+        rows, title="\nGraph decoupling (maximum matching)",
+    ))
+
+    # -- Backbone strategies --------------------------------------------
+    matching = maximum_matching(target)
+    konig = select_backbone_konig(target, matching)
+    paper = select_backbone_paper(target, matching)
+    print(ascii_table(
+        ["strategy", "backbone", "src_in", "dst_in", "is cover"],
+        [
+            ["König (min cover)", konig.backbone_size, len(konig.src_in),
+             len(konig.dst_in), konig.is_vertex_cover(target)],
+            ["Algorithm 2 (+repair)", paper.backbone_size, len(paper.src_in),
+             len(paper.dst_in), paper.is_vertex_cover(target)],
+        ],
+        title="\nBackbone selection",
+    ))
+
+    # -- Locality sweep ---------------------------------------------------
+    # The Recoupler sizes its communities for the buffer it feeds
+    # (budget ~ capacity / 8), so GDR schedules are built per capacity.
+    capacities = (256, 512, 1024, 2048)
+    rows = []
+    baselines = {
+        "original (CSC order)": lambda cap: [(target, None)],
+        "degree-sorted": lambda cap: [(target, degree_sort_schedule(target))],
+        "islandization (I-GCN)": lambda cap: [(
+            target,
+            np.concatenate([
+                i.dst_vertices
+                for i in islandize(target, max_island_vertices=2 * cap)
+            ]),
+        )],
+        "GDR restructured": lambda cap: [
+            (sub, sched)
+            for sub, sched in zip(
+                *(lambda r: (r.subgraphs, r.dst_schedules))(
+                    GraphRestructurer(
+                        community_budget=max(32, cap // 8), validate=False
+                    ).restructure(target)
+                )
+            )
+        ],
+        "GDR recursive d=1": lambda cap: GraphRestructurer(
+            max_depth=1, min_edges=128,
+            community_budget=max(32, cap // 8), validate=False,
+        ).restructure(target).leaves(),
+    }
+    for name, make_leaves in baselines.items():
+        cells = []
+        for cap in capacities:
+            hit, misses = replay(make_leaves(cap), cap)
+            cells.append(f"{hit:.0%} ({misses})")
+        rows.append([name] + cells)
+    print(ascii_table(
+        ["method"] + [f"cap={c}" for c in capacities],
+        rows,
+        title="\nNA buffer hit ratio (misses) vs source-feature capacity",
+    ))
+    print(
+        "\nWith its community budget matched to the buffer, GDR's subgraph "
+        "schedule beats every baseline at tight capacities; islandization "
+        "needs capacity-sized islands to compete and still trails, "
+        "degrading on bipartite graphs as the paper's related work notes."
+    )
+
+
+if __name__ == "__main__":
+    main()

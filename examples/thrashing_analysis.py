@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Buffer-thrashing analysis (reproduces the shape of Fig. 2 / §3).
+
+Runs the HiHGNN model's NA stage over the three datasets, prints the
+replacement-times histograms (how often each vertex's feature was
+evicted and re-fetched), and shows how GDR-HGNN's restructuring
+collapses them.
+
+Run:  python examples/thrashing_analysis.py [--scale 0.5]
+"""
+
+import argparse
+
+from repro.accelerator.config import HiHGNNConfig
+from repro.analysis.report import render_histogram
+from repro.analysis.thrashing import thrashing_analysis
+from repro.graph.datasets import load_dataset
+from repro.restructure.restructure import GraphRestructurer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale (1.0 = published sizes)")
+    parser.add_argument("--model", default="rgcn",
+                        choices=("rgcn", "rgat", "simple_hgn"))
+    args = parser.parse_args()
+
+    config = HiHGNNConfig()
+    for name in ("acm", "imdb", "dblp"):
+        graph = load_dataset(name, seed=1, scale=args.scale)
+        base = thrashing_analysis(graph, args.model, config=config)
+        gdr = thrashing_analysis(
+            graph, args.model, config=config,
+            restructurer=GraphRestructurer(validate=False),
+        )
+        print(f"\n=== {name.upper()} ({args.model}) ===")
+        print(f"NA hit ratio        : {base.na_hit_ratio:6.1%}  ->  "
+              f"{gdr.na_hit_ratio:6.1%} with GDR-HGNN")
+        print(f"redundant fetches   : {base.redundant_accesses:8d}  ->  "
+              f"{gdr.redundant_accesses:8d}")
+        print(f"redundancy fraction : {base.redundancy_fraction:6.1%}  ->  "
+              f"{gdr.redundancy_fraction:6.1%}")
+        print("replacement-times histogram (ratio of vertices, HiHGNN):")
+        print(render_histogram(base.histogram, series="vertex_ratio"))
+        print("with GDR-HGNN:")
+        print(render_histogram(gdr.histogram, series="vertex_ratio"))
+
+    print(
+        "\nThe largest dataset (DBLP) thrashes hardest, and restructuring "
+        "shifts vertices out of the high-replacement buckets -- the "
+        "motivation and the payoff of the paper in one plot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""GDR-HGNN reproduction library.
+
+This package reproduces *GDR-HGNN: A Heterogeneous Graph Neural Networks
+Accelerator Frontend with Graph Decoupling and Recoupling* (Xue et al.,
+DAC 2024) as a pure-Python system:
+
+- :mod:`repro.graph` -- heterogeneous graph substrate (typed graphs,
+  semantic graph build, statistically matched synthetic datasets).
+- :mod:`repro.restructure` -- the paper's contribution as an algorithm
+  library: graph decoupling (maximum bipartite matching), backbone
+  selection, and graph recoupling into community-structured subgraphs.
+- :mod:`repro.models` -- functional numpy implementations of RGCN, RGAT
+  and Simple-HGN as SGB/FP/NA/SF stage pipelines.
+- :mod:`repro.memory` -- caches, scratchpad buffers, FIFOs and an HBM
+  DRAM timing model.
+- :mod:`repro.accelerator` -- a cycle-approximate model of the HiHGNN
+  accelerator.
+- :mod:`repro.frontend` -- the GDR-HGNN hardware frontend
+  (Decoupler + Recoupler) and its pipelined integration with HiHGNN.
+- :mod:`repro.gpu` -- T4 / A100 GPU performance models running the same
+  workloads.
+- :mod:`repro.energy` -- area / power / energy models (12 nm).
+- :mod:`repro.analysis` -- experiment harness regenerating every table
+  and figure of the paper's evaluation.
+"""
+
+from repro.graph import HeteroGraph, SemanticGraph, load_dataset
+from repro.restructure import (
+    GraphRestructurer,
+    RestructureResult,
+    decouple,
+    recouple,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HeteroGraph",
+    "SemanticGraph",
+    "load_dataset",
+    "GraphRestructurer",
+    "RestructureResult",
+    "decouple",
+    "recouple",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Cycle-approximate model of the HiHGNN accelerator.
+
+HiHGNN (Xue et al., 2023) is the state-of-the-art HGNN accelerator the
+paper bolts GDR-HGNN onto. The model reproduces the architectural
+features the evaluation depends on:
+
+- a **systolic array module** for matrix multiplication (FP stage and
+  the dense half of attention),
+- a **SIMD module** for element-wise work (NA accumulation, SF),
+- a **multi-lane** organisation exploiting inter-semantic-graph
+  parallelism,
+- **similarity-aware scheduling** of semantic graphs for data reuse,
+- the Table 3 buffer hierarchy, with the NA buffer simulated
+  access-by-access so replacement counts (Fig. 2) and DRAM traffic
+  (Fig. 8) are measured, not estimated.
+"""
+
+from repro.accelerator.config import HiHGNNConfig
+from repro.accelerator.systolic import SystolicArray
+from repro.accelerator.simd import SIMDUnit
+from repro.accelerator.scheduler import similarity_schedule, semantic_similarity
+from repro.accelerator.stages import StageReport, NAStageEngine
+from repro.accelerator.hihgnn import HiHGNNSimulator, SimulationReport
+
+__all__ = [
+    "HiHGNNConfig",
+    "SystolicArray",
+    "SIMDUnit",
+    "similarity_schedule",
+    "semantic_similarity",
+    "StageReport",
+    "NAStageEngine",
+    "HiHGNNSimulator",
+    "SimulationReport",
+]

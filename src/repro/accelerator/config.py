@@ -1,0 +1,97 @@
+"""HiHGNN platform configuration (Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.dram import HBMConfig
+
+__all__ = ["HiHGNNConfig"]
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+@dataclass(frozen=True)
+class HiHGNNConfig:
+    """Architectural parameters of HiHGNN as given in Table 3.
+
+    Attributes:
+        clock_ghz: accelerator clock (1.0 GHz).
+        peak_tflops: peak throughput (16.38 TFLOPS), implying
+            ``peak_tflops * 1000 / clock_ghz`` FLOPs per cycle across
+            all lanes.
+        num_lanes: parallel lanes exploiting inter-semantic-graph
+            parallelism (HiHGNN's multi-lane architecture).
+        systolic_rows/cols: one lane's systolic array shape; the default
+            128 x 16 array x 4 lanes x 2 FLOPs/MAC = 16384 FLOPs/cycle,
+            matching the stated peak.
+        simd_width: one lane's SIMD width in fp32 lanes.
+        fp_buffer_bytes: FP result buffer (2.44 MB).
+        na_buffer_bytes: NA feature buffer (14.52 MB) -- the buffer
+            whose thrashing the paper attacks.
+        sf_buffer_bytes: SF/SA buffer (0.12 MB).
+        att_buffer_bytes: attention buffer (0.38 MB).
+        hbm: HBM 1.0 configuration (512 GB/s at 1 GHz = 512 B/cycle).
+        kernel_overhead_cycles: fixed per-stage launch/drain overhead of
+            one stage invocation on one semantic graph.
+        na_src_fraction: share of a lane's NA buffer available for
+            source features; the rest holds in-flight destination
+            partial aggregations (HiHGNN keeps both in the NA buffer).
+    """
+
+    clock_ghz: float = 1.0
+    peak_tflops: float = 16.38
+    num_lanes: int = 4
+    systolic_rows: int = 128
+    systolic_cols: int = 16
+    simd_width: int = 64
+    fp_buffer_bytes: int = int(2.44 * MB)
+    na_buffer_bytes: int = int(14.52 * MB)
+    sf_buffer_bytes: int = int(0.12 * MB)
+    att_buffer_bytes: int = int(0.38 * MB)
+    hbm: HBMConfig = field(default_factory=HBMConfig)
+    kernel_overhead_cycles: int = 64
+    na_src_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.num_lanes <= 0:
+            raise ValueError("num_lanes must be positive")
+        if min(self.systolic_rows, self.systolic_cols, self.simd_width) <= 0:
+            raise ValueError("datapath dimensions must be positive")
+
+    @property
+    def flops_per_cycle(self) -> int:
+        """Peak FLOPs per cycle over all lanes (2 per MAC)."""
+        return self.num_lanes * self.systolic_rows * self.systolic_cols * 2
+
+    @property
+    def lane_na_buffer_bytes(self) -> int:
+        """Nominal per-lane NA buffer share (capacity accounting)."""
+        return self.na_buffer_bytes // self.num_lanes
+
+    @property
+    def lane_na_src_bytes(self) -> int:
+        """Source-feature capacity available to one lane's NA stream.
+
+        The NA buffer is a pooled resource: HiHGNN allocates it to
+        whichever lanes are in their NA phase, and NA phases of
+        different lanes rarely align (graph sizes differ widely), so a
+        lane's NA stream sees the full source-feature share rather
+        than a static 1/num_lanes slice.
+        """
+        if not 0.0 < self.na_src_fraction <= 1.0:
+            raise ValueError("na_src_fraction must be in (0, 1]")
+        return int(self.na_buffer_bytes * self.na_src_fraction)
+
+    @property
+    def lane_fp_buffer_bytes(self) -> int:
+        return self.fp_buffer_bytes // self.num_lanes
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.clock_ghz * 1e9
+
+    def cycles_to_ms(self, cycles: int) -> float:
+        """Convert a cycle count to milliseconds at the configured clock."""
+        return cycles / self.cycles_per_second * 1e3

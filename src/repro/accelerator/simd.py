@@ -1,0 +1,52 @@
+"""SIMD module timing model.
+
+HiHGNN's SIMD module executes element-wise work: attention exponents and
+normalization, weighted accumulation during NA, and the adds/activations
+of SF. The model charges ``ceil(ops / width)`` cycles, with a
+configurable cost multiplier for transcendental ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SIMDUnit"]
+
+
+@dataclass(frozen=True)
+class SIMDUnit:
+    """A ``width``-lane fp32 SIMD unit.
+
+    Attributes:
+        width: lanes (elements per cycle).
+        transcendental_cost: cycles one exp/div occupies relative to an
+            add/mul (lookup-table implementations typically 2-4).
+    """
+
+    width: int
+    transcendental_cost: int = 2
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("SIMD width must be positive")
+        if self.transcendental_cost <= 0:
+            raise ValueError("transcendental_cost must be positive")
+
+    def elementwise_cycles(self, ops: int) -> int:
+        """Cycles for ``ops`` simple element-wise operations."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        return -(-ops // self.width)
+
+    def transcendental_cycles(self, ops: int) -> int:
+        """Cycles for ``ops`` exp/div/softmax-style operations."""
+        return self.elementwise_cycles(ops) * self.transcendental_cost
+
+    def reduction_cycles(self, length: int, vectors: int = 1) -> int:
+        """Cycles to tree-reduce ``vectors`` arrays of ``length``."""
+        if length <= 0:
+            return 0
+        per_vector = self.elementwise_cycles(length)
+        # log-depth combine once lanes are saturated
+        depth = max(1, (length - 1).bit_length())
+        return vectors * (per_vector + depth)

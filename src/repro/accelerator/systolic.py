@@ -1,0 +1,63 @@
+"""Systolic array timing model.
+
+HiHGNN's systolic array executes the dense matrix work: the FP stage's
+feature projections and the matrix-vector halves of attention scoring.
+The model is an output-stationary tiling with double-buffered operand
+feeds: an ``R x C`` array computes an ``R x C`` output tile in ``K``
+cycles once the pipeline is primed, and the ``R + C`` fill/drain is
+paid once per GEMM (tile transitions overlap with streaming). A
+``(M, K) @ (K, N)`` product therefore takes
+``ceil(M/R) * ceil(N/C) * K + R + C`` cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SystolicArray"]
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """An ``rows x cols`` MAC array clocked once per cycle.
+
+    Attributes:
+        rows: PE rows (output tile height).
+        cols: PE columns (output tile width).
+    """
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.rows * self.cols
+
+    def gemm_cycles(self, m: int, k: int, n: int) -> int:
+        """Cycles for a dense ``(m, k) @ (k, n)`` product.
+
+        Zero-sized problems take zero cycles.
+        """
+        if min(m, k, n) < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        if m == 0 or k == 0 or n == 0:
+            return 0
+        tiles_m = -(-m // self.rows)
+        tiles_n = -(-n // self.cols)
+        return tiles_m * tiles_n * k + self.rows + self.cols
+
+    def gemm_utilization(self, m: int, k: int, n: int) -> float:
+        """Achieved MAC utilization of the product (1.0 = fully packed)."""
+        cycles = self.gemm_cycles(m, k, n)
+        if cycles == 0:
+            return 0.0
+        ideal = m * k * n / self.macs_per_cycle
+        return min(1.0, ideal / cycles)
+
+    def gemv_cycles(self, k: int, n: int) -> int:
+        """Matrix-vector product ``(1, k) @ (k, n)`` (one output row)."""
+        return self.gemm_cycles(1, k, n)

@@ -1,0 +1,23 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.analysis.report import ascii_table, format_ratio, render_histogram
+from repro.analysis.thrashing import ThrashingProfile, thrashing_analysis
+from repro.analysis.experiments import (
+    EvaluationConfig,
+    EvaluationSuite,
+    geomean,
+)
+from repro.analysis.sweeps import BufferSweepPoint, buffer_sensitivity
+
+__all__ = [
+    "ascii_table",
+    "format_ratio",
+    "render_histogram",
+    "ThrashingProfile",
+    "thrashing_analysis",
+    "EvaluationConfig",
+    "EvaluationSuite",
+    "geomean",
+    "BufferSweepPoint",
+    "buffer_sensitivity",
+]

@@ -1,0 +1,241 @@
+"""The evaluation suite: every figure and table of §5 (plus §3).
+
+:class:`EvaluationSuite` runs the four platforms (T4, A100, HiHGNN,
+HiHGNN+GDR-HGNN) over the 3 models x 3 datasets grid, caches results,
+and exposes one method per paper artifact. All numbers are normalized
+exactly as the paper normalizes them (speedup and DRAM access relative
+to the T4 baseline; GEOMEAN across the model/dataset grid).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.accelerator.config import HiHGNNConfig
+from repro.accelerator.hihgnn import HiHGNNSimulator, SimulationReport
+from repro.analysis.thrashing import ThrashingProfile, thrashing_analysis
+from repro.energy.breakdown import figure10_shares
+from repro.frontend.config import GDRConfig
+from repro.frontend.gdr import GDRHGNNSystem
+from repro.gpu.config import A100, T4
+from repro.gpu.gpumodel import GPUReport, GPUSimulator
+from repro.graph.datasets import DATASET_SPECS, load_dataset
+from repro.graph.hetero import HeteroGraph
+from repro.graph.semantic import build_semantic_graphs
+from repro.graph.stats import graph_stats
+from repro.models.base import ModelConfig
+
+__all__ = ["EvaluationConfig", "EvaluationSuite", "geomean", "PLATFORMS"]
+
+PLATFORMS = ("t4", "a100", "hihgnn", "hihgnn+gdr")
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean (the paper's GEOMEAN bars)."""
+    if not values:
+        raise ValueError("geomean of an empty list")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class EvaluationConfig:
+    """What to run and at what fidelity.
+
+    ``scale < 1`` shrinks the datasets for quick runs (tests / smoke);
+    the published comparison uses ``scale=1.0``.
+    """
+
+    datasets: tuple[str, ...] = ("acm", "imdb", "dblp")
+    models: tuple[str, ...] = ("rgcn", "rgat", "simple_hgn")
+    seed: int = 1
+    scale: float = 1.0
+    accelerator: HiHGNNConfig = field(default_factory=HiHGNNConfig)
+    frontend: GDRConfig = field(default_factory=GDRConfig)
+    model_config: ModelConfig = field(default_factory=ModelConfig)
+
+
+class EvaluationSuite:
+    """Runs and caches the full platform x model x dataset grid."""
+
+    def __init__(self, config: EvaluationConfig | None = None) -> None:
+        self.config = config or EvaluationConfig()
+        self._graphs: dict[str, HeteroGraph] = {}
+        self._results: dict[tuple[str, str, str], SimulationReport | GPUReport] = {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def graph(self, dataset: str) -> HeteroGraph:
+        """The (cached) synthetic dataset."""
+        if dataset not in self._graphs:
+            self._graphs[dataset] = load_dataset(
+                dataset, seed=self.config.seed, scale=self.config.scale
+            )
+        return self._graphs[dataset]
+
+    def run(self, platform: str, model: str, dataset: str):
+        """Run (or fetch from cache) one cell of the grid."""
+        key = (platform, model, dataset)
+        if key in self._results:
+            return self._results[key]
+        graph = self.graph(dataset)
+        cfg = self.config
+        if platform == "t4":
+            result = GPUSimulator(T4, cfg.model_config).run(graph, model)
+        elif platform == "a100":
+            result = GPUSimulator(A100, cfg.model_config).run(graph, model)
+        elif platform == "hihgnn":
+            result = HiHGNNSimulator(cfg.accelerator, cfg.model_config).run(
+                graph, model
+            )
+        elif platform == "hihgnn+gdr":
+            result = GDRHGNNSystem(
+                cfg.accelerator, cfg.frontend, cfg.model_config
+            ).run(graph, model)
+        else:
+            known = ", ".join(PLATFORMS)
+            raise ValueError(f"unknown platform {platform!r}; known: {known}")
+        self._results[key] = result
+        return result
+
+    def run_grid(self, platforms: tuple[str, ...] = PLATFORMS) -> None:
+        """Populate the cache for all requested platforms."""
+        for platform in platforms:
+            for model in self.config.models:
+                for dataset in self.config.datasets:
+                    self.run(platform, model, dataset)
+
+    # ------------------------------------------------------------------
+    # Figures and tables
+    # ------------------------------------------------------------------
+
+    def table2(self) -> list[dict]:
+        """Table 2: dataset statistics (generated vs specified)."""
+        rows = []
+        for dataset in self.config.datasets:
+            spec = DATASET_SPECS[dataset]
+            graph = self.graph(dataset)
+            for vtype in graph.vertex_types:
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "vertex_type": vtype,
+                        "spec_vertices": spec.num_vertices[vtype],
+                        "vertices": graph.num_vertices(vtype),
+                        "feature_dim": graph.feature_dim(vtype),
+                        "relations": sum(
+                            1
+                            for r in graph.relations
+                            if r.src_type == vtype or r.dst_type == vtype
+                        ),
+                    }
+                )
+        return rows
+
+    def table3(self) -> dict[str, dict]:
+        """Table 3: platform configuration dump."""
+        accel = self.config.accelerator
+        front = self.config.frontend
+        return {
+            "hihgnn": {
+                "peak_tflops": accel.peak_tflops,
+                "clock_ghz": accel.clock_ghz,
+                "num_lanes": accel.num_lanes,
+                "fp_buffer_mb": accel.fp_buffer_bytes / (1 << 20),
+                "na_buffer_mb": accel.na_buffer_bytes / (1 << 20),
+                "sf_buffer_mb": accel.sf_buffer_bytes / (1 << 20),
+                "att_buffer_mb": accel.att_buffer_bytes / (1 << 20),
+                "hbm_gbs": accel.hbm.peak_bytes_per_cycle * accel.clock_ghz,
+            },
+            "gdr-hgnn": {
+                "fifo_kb": front.fifo_bytes / 1024,
+                "matching_buffer_kb": front.matching_buffer_bytes / 1024,
+                "candidate_buffer_kb": front.candidate_buffer_bytes / 1024,
+                "adj_buffer_kb": front.adj_buffer_bytes / 1024,
+            },
+        }
+
+    def figure2(self, model: str = "rgcn") -> dict[str, ThrashingProfile]:
+        """Fig. 2: replacement-times histograms per dataset (HiHGNN)."""
+        return {
+            dataset: thrashing_analysis(
+                self.graph(dataset),
+                model,
+                config=self.config.accelerator,
+                model_config=self.config.model_config,
+            )
+            for dataset in self.config.datasets
+        }
+
+    def section3_l2(self, model: str = "rgcn") -> dict[str, float]:
+        """§3's T4 measurement: L2 hit ratio of the NA stage per dataset."""
+        return {
+            dataset: self.run("t4", model, dataset).na_l2_hit_ratio
+            for dataset in self.config.datasets
+        }
+
+    def _grid_ratio(self, metric, baseline_platform: str = "t4") -> dict:
+        """Generic Fig. 7/8 style table: metric ratio vs a baseline."""
+        table: dict[str, dict[str, dict[str, float]]] = {}
+        for model in self.config.models:
+            table[model] = {}
+            for dataset in self.config.datasets:
+                baseline = self.run(baseline_platform, model, dataset)
+                row = {}
+                for platform in PLATFORMS:
+                    result = self.run(platform, model, dataset)
+                    row[platform] = metric(result, baseline)
+                table[model][dataset] = row
+        # GEOMEAN across the whole grid, per platform.
+        table["GEOMEAN"] = {
+            "all": {
+                platform: geomean(
+                    [
+                        table[m][d][platform]
+                        for m in self.config.models
+                        for d in self.config.datasets
+                    ]
+                )
+                for platform in PLATFORMS
+            }
+        }
+        return table
+
+    def figure7(self) -> dict:
+        """Fig. 7: speedup over T4 per platform/model/dataset + GEOMEAN."""
+        return self._grid_ratio(
+            lambda result, baseline: baseline.time_ms / result.time_ms
+        )
+
+    def figure8(self) -> dict:
+        """Fig. 8: DRAM accesses normalized to T4 (fractions <= ~1)."""
+        return self._grid_ratio(
+            lambda result, baseline: result.dram_accesses
+            / max(baseline.dram_accesses, 1)
+        )
+
+    def figure9(self) -> dict:
+        """Fig. 9: DRAM bandwidth utilization per platform (fractions)."""
+        return self._grid_ratio(
+            lambda result, baseline: result.bandwidth_utilization
+        )
+
+    def figure10(self) -> dict[str, float]:
+        """Fig. 10: area/power shares of GDR-HGNN in the combined system."""
+        return figure10_shares(self.config.accelerator, self.config.frontend)
+
+    # ------------------------------------------------------------------
+    # Dataset sanity
+    # ------------------------------------------------------------------
+
+    def dataset_profile(self, dataset: str) -> dict[str, dict]:
+        """Per-relation graph statistics of one generated dataset."""
+        graph = self.graph(dataset)
+        return {
+            str(sg.relation): graph_stats(sg).as_dict()
+            for sg in build_semantic_graphs(graph)
+        }

@@ -1,0 +1,69 @@
+"""Plain-text rendering of tables and figure series."""
+
+from __future__ import annotations
+
+__all__ = ["ascii_table", "format_ratio", "render_histogram"]
+
+
+def ascii_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``. Columns are sized to their widest cell.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(
+        "|" + "|".join(f" {headers[i]:<{widths[i]}} " for i in range(len(headers))) + "|"
+    )
+    out.append(sep)
+    for row in text_rows:
+        out.append(
+            "|" + "|".join(f" {row[i]:<{widths[i]}} " for i in range(len(row))) + "|"
+        )
+    out.append(sep)
+    return "\n".join(out)
+
+
+def format_ratio(value: float, *, percent: bool = False) -> str:
+    """Human-friendly ratio: ``12.3x`` or ``45.6%``."""
+    if percent:
+        return f"{value * 100:.1f}%"
+    return f"{value:.2f}x"
+
+
+def render_histogram(
+    histogram: dict[int, dict[str, float]],
+    *,
+    width: int = 40,
+    series: str = "vertex_ratio",
+) -> str:
+    """ASCII bar chart of a Fig. 2-style replacement histogram."""
+    if not histogram:
+        return "(empty histogram)"
+    peak = max(b[series] for b in histogram.values()) or 1.0
+    lines = []
+    for times in sorted(histogram):
+        value = histogram[times][series]
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{times:>3} | {bar:<{width}} {value:5.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Design-space sweeps: sensitivity of the results to key parameters.
+
+These utilities answer the designer questions behind Table 3's choices:
+how large must the NA buffer be before restructuring stops mattering,
+and how does the frontend's community budget interact with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import HiHGNNConfig
+from repro.accelerator.hihgnn import HiHGNNSimulator
+from repro.frontend.gdr import GDRHGNNSystem
+from repro.graph.hetero import HeteroGraph
+from repro.models.base import ModelConfig
+
+__all__ = ["BufferSweepPoint", "buffer_sensitivity"]
+
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class BufferSweepPoint:
+    """One point of a buffer-capacity sweep."""
+
+    na_buffer_mb: float
+    base_time_ms: float
+    gdr_time_ms: float
+    base_na_hit: float
+    gdr_na_hit: float
+    base_dram_accesses: int
+    gdr_dram_accesses: int
+
+    @property
+    def speedup(self) -> float:
+        """GDR system speedup over bare HiHGNN at this capacity."""
+        if self.gdr_time_ms <= 0:
+            return float("inf")
+        return self.base_time_ms / self.gdr_time_ms
+
+    @property
+    def access_ratio(self) -> float:
+        """GDR / HiHGNN DRAM-access ratio at this capacity."""
+        return self.gdr_dram_accesses / max(self.base_dram_accesses, 1)
+
+
+def buffer_sensitivity(
+    graph: HeteroGraph,
+    model_name: str = "rgcn",
+    *,
+    buffer_mbs: tuple[float, ...] = (2.0, 4.0, 8.0, 14.52, 24.0),
+    base_config: HiHGNNConfig | None = None,
+    model_config: ModelConfig | None = None,
+) -> list[BufferSweepPoint]:
+    """Sweep the NA buffer size; compare HiHGNN with and without GDR.
+
+    Expected shape: GDR's advantage grows as the buffer shrinks (the
+    paper's motivation) and vanishes once the working set fits.
+
+    Args:
+        graph: the dataset.
+        model_name: HGNN model to run.
+        buffer_mbs: NA buffer capacities to test (Table 3's 14.52 MB
+            among them by default).
+        base_config: template accelerator config (buffer size is
+            overridden per point).
+        model_config: model hyper-parameters.
+
+    Returns:
+        One :class:`BufferSweepPoint` per capacity, in input order.
+    """
+    template = base_config or HiHGNNConfig()
+    points = []
+    for capacity_mb in buffer_mbs:
+        config = HiHGNNConfig(
+            clock_ghz=template.clock_ghz,
+            peak_tflops=template.peak_tflops,
+            num_lanes=template.num_lanes,
+            systolic_rows=template.systolic_rows,
+            systolic_cols=template.systolic_cols,
+            simd_width=template.simd_width,
+            fp_buffer_bytes=template.fp_buffer_bytes,
+            na_buffer_bytes=int(capacity_mb * MB),
+            sf_buffer_bytes=template.sf_buffer_bytes,
+            att_buffer_bytes=template.att_buffer_bytes,
+            hbm=template.hbm,
+            kernel_overhead_cycles=template.kernel_overhead_cycles,
+            na_src_fraction=template.na_src_fraction,
+        )
+        base = HiHGNNSimulator(config, model_config).run(graph, model_name)
+        gdr = GDRHGNNSystem(config, model_config=model_config).run(
+            graph, model_name
+        )
+        points.append(
+            BufferSweepPoint(
+                na_buffer_mb=capacity_mb,
+                base_time_ms=base.time_ms,
+                gdr_time_ms=gdr.time_ms,
+                base_na_hit=base.na_hit_ratio,
+                gdr_na_hit=gdr.na_hit_ratio,
+                base_dram_accesses=base.dram_accesses,
+                gdr_dram_accesses=gdr.dram_accesses,
+            )
+        )
+    return points

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``evaluate``  -- run the §5 evaluation grid and print Figures 7/8/9.
+- ``thrash``    -- print Fig. 2 style replacement histograms.
+- ``restructure`` -- restructure one dataset's semantic graphs and
+  print backbone/subgraph statistics.
+- ``datasets``  -- print Table 2 style dataset statistics.
+- ``area``      -- print the Fig. 10 area/power breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GDR-HGNN (DAC 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = sub.add_parser("evaluate", help="run the evaluation grid")
+    evaluate.add_argument("--scale", type=float, default=0.3)
+    evaluate.add_argument("--models", default="rgcn",
+                          help="comma-separated model list")
+    evaluate.add_argument("--datasets", default="acm,imdb,dblp")
+    evaluate.add_argument("--seed", type=int, default=1)
+
+    thrash = sub.add_parser("thrash", help="Fig. 2 replacement histograms")
+    thrash.add_argument("--scale", type=float, default=0.3)
+    thrash.add_argument("--model", default="rgcn")
+    thrash.add_argument("--dataset", default="dblp")
+    thrash.add_argument("--seed", type=int, default=1)
+    thrash.add_argument("--gdr", action="store_true",
+                        help="profile the restructured execution instead")
+
+    restructure = sub.add_parser(
+        "restructure", help="restructure one dataset's semantic graphs"
+    )
+    restructure.add_argument("--dataset", default="imdb")
+    restructure.add_argument("--scale", type=float, default=0.3)
+    restructure.add_argument("--seed", type=int, default=1)
+    restructure.add_argument("--depth", type=int, default=0)
+
+    datasets = sub.add_parser("datasets", help="Table 2 statistics")
+    datasets.add_argument("--scale", type=float, default=1.0)
+    datasets.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("area", help="Fig. 10 area/power breakdown")
+    return parser
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.analysis.experiments import (
+        PLATFORMS,
+        EvaluationConfig,
+        EvaluationSuite,
+    )
+    from repro.analysis.report import ascii_table
+
+    config = EvaluationConfig(
+        datasets=tuple(args.datasets.split(",")),
+        models=tuple(args.models.split(",")),
+        seed=args.seed,
+        scale=args.scale,
+    )
+    suite = EvaluationSuite(config)
+    suite.run_grid()
+    for title, table, fmt in (
+        ("Fig. 7: speedup over T4", suite.figure7(), "{:.2f}"),
+        ("Fig. 8: DRAM accesses vs T4", suite.figure8(), "{:.4f}"),
+        ("Fig. 9: bandwidth utilization", suite.figure9(), "{:.3f}"),
+    ):
+        rows = []
+        for model in list(config.models) + ["GEOMEAN"]:
+            datasets = config.datasets if model != "GEOMEAN" else ("all",)
+            for dataset in datasets:
+                cell = table[model][dataset]
+                rows.append([model, dataset]
+                            + [fmt.format(cell[p]) for p in PLATFORMS])
+        print(ascii_table(["model", "dataset"] + list(PLATFORMS), rows,
+                          title="\n" + title))
+    return 0
+
+
+def _cmd_thrash(args) -> int:
+    from repro.analysis.report import render_histogram
+    from repro.analysis.thrashing import thrashing_analysis
+    from repro.graph.datasets import load_dataset
+    from repro.restructure.restructure import GraphRestructurer
+
+    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    restructurer = (
+        GraphRestructurer(validate=False) if args.gdr else None
+    )
+    profile = thrashing_analysis(graph, args.model, restructurer=restructurer)
+    label = "with GDR-HGNN" if args.gdr else "HiHGNN baseline"
+    print(f"{args.dataset} / {args.model} ({label})")
+    print(f"NA hit ratio      : {profile.na_hit_ratio:.1%}")
+    print(f"redundant fetches : {profile.redundant_accesses}")
+    print("replacement-times histogram (ratio of #vertex):")
+    print(render_histogram(profile.histogram, series="vertex_ratio"))
+    return 0
+
+
+def _cmd_restructure(args) -> int:
+    from repro.analysis.report import ascii_table
+    from repro.graph.datasets import load_dataset
+    from repro.graph.semantic import build_semantic_graphs
+    from repro.restructure.restructure import GraphRestructurer
+
+    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    restructurer = GraphRestructurer(max_depth=args.depth, validate=False)
+    rows = []
+    for sg in build_semantic_graphs(graph):
+        result = restructurer.restructure(sg)
+        rows.append([
+            str(sg.relation), sg.num_edges, result.matching.size,
+            result.backbone_size,
+            "/".join(str(sub.num_edges) for sub in result.subgraphs),
+            len(result.leaves()),
+        ])
+    print(ascii_table(
+        ["relation", "edges", "matching", "backbone",
+         "subgraph edges", "leaves"],
+        rows, title=f"Restructuring {graph.name}",
+    ))
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.analysis.report import ascii_table
+    from repro.graph.datasets import DATASET_SPECS, load_dataset
+
+    rows = []
+    for name in sorted(DATASET_SPECS):
+        graph = load_dataset(name, seed=args.seed, scale=args.scale)
+        for vtype in graph.vertex_types:
+            rows.append([name, vtype, graph.num_vertices(vtype),
+                         graph.feature_dim(vtype) or "-"])
+        rows.append([name, "(edges)", graph.num_edges(), "-"])
+    print(ascii_table(["dataset", "vertex type", "count", "feat dim"],
+                      rows, title="Table 2: dataset statistics"))
+    return 0
+
+
+def _cmd_area(_args) -> int:
+    from repro.analysis.report import ascii_table
+    from repro.energy.breakdown import area_breakdown, figure10_shares
+
+    components = area_breakdown()
+    rows = [[c.block, c.component, f"{c.area_mm2:.3f}", f"{c.power_mw:.1f}"]
+            for c in components]
+    print(ascii_table(["block", "component", "area mm^2", "power mW"],
+                      rows, title="Fig. 10: area and power (TSMC 12 nm)"))
+    shares = figure10_shares()
+    print(f"\nGDR-HGNN: {shares['gdr_area_share']:.2%} of area, "
+          f"{shares['gdr_power_share']:.2%} of power "
+          f"(paper: 2.30% / 0.46%)")
+    return 0
+
+
+_COMMANDS = {
+    "evaluate": _cmd_evaluate,
+    "thrash": _cmd_thrash,
+    "restructure": _cmd_restructure,
+    "datasets": _cmd_datasets,
+    "area": _cmd_area,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Component area models (mm^2 at the configured node)."""
+
+from __future__ import annotations
+
+from repro.energy.tech import TechNode, TSMC12
+
+__all__ = ["sram_area_mm2", "fifo_area_mm2", "mac_array_area_mm2", "simd_area_mm2"]
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+def sram_area_mm2(capacity_bytes: int, node: TechNode = TSMC12) -> float:
+    """Area of an SRAM macro of ``capacity_bytes``.
+
+    Linear in capacity with a small fixed periphery floor; Cacti's
+    sub-linear periphery amortization is folded into the per-MB
+    constant for the macro sizes used here (tens of KB to tens of MB).
+    """
+    if capacity_bytes < 0:
+        raise ValueError("capacity must be non-negative")
+    if capacity_bytes == 0:
+        return 0.0
+    periphery_floor = 0.002  # decoders/sense amps of a tiny macro
+    return periphery_floor + node.sram_mm2_per_mb * capacity_bytes / MB
+
+
+def fifo_area_mm2(capacity_bytes: int, node: TechNode = TSMC12) -> float:
+    """Area of a FIFO: an SRAM macro plus pointer/flag logic (~20 %)."""
+    return sram_area_mm2(capacity_bytes, node) * 1.2
+
+
+def mac_array_area_mm2(num_macs: int, node: TechNode = TSMC12) -> float:
+    """Area of a systolic MAC array."""
+    if num_macs < 0:
+        raise ValueError("num_macs must be non-negative")
+    return num_macs * node.mac_um2 / 1e6
+
+
+def simd_area_mm2(num_lanes: int, node: TechNode = TSMC12) -> float:
+    """Area of a SIMD module with transcendental support."""
+    if num_lanes < 0:
+        raise ValueError("num_lanes must be non-negative")
+    return num_lanes * node.simd_lane_um2 / 1e6

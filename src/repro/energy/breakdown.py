@@ -1,0 +1,164 @@
+"""Fig. 10: area and power breakdown of HiHGNN + GDR-HGNN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.config import HiHGNNConfig
+from repro.energy.area import (
+    fifo_area_mm2,
+    mac_array_area_mm2,
+    simd_area_mm2,
+    sram_area_mm2,
+)
+from repro.energy.power import (
+    fifo_power_mw,
+    leakage_mw,
+    mac_array_power_mw,
+    simd_power_mw,
+    sram_power_mw,
+)
+from repro.energy.tech import TechNode, TSMC12
+from repro.frontend.config import GDRConfig
+
+__all__ = ["ComponentCost", "area_breakdown", "power_breakdown", "figure10_shares"]
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """One hardware component's cost entry."""
+
+    block: str  # "hihgnn" or "gdr"
+    component: str
+    area_mm2: float
+    power_mw: float
+
+
+def _hihgnn_components(
+    config: HiHGNNConfig, node: TechNode
+) -> list[ComponentCost]:
+    clock = config.clock_ghz
+    macs = config.num_lanes * config.systolic_rows * config.systolic_cols
+    simd_lanes = config.num_lanes * config.simd_width
+
+    entries: list[tuple[str, float, float]] = []
+    mac_area = mac_array_area_mm2(macs, node)
+    entries.append(
+        ("systolic array", mac_area, mac_array_power_mw(macs, 0.7, clock, node))
+    )
+    simd_area = simd_area_mm2(simd_lanes, node)
+    entries.append(
+        ("simd module", simd_area, simd_power_mw(simd_lanes, 0.5, clock, node))
+    )
+    for name, capacity, rate in (
+        ("fp buffer", config.fp_buffer_bytes, 0.5),
+        ("na buffer", config.na_buffer_bytes, 1.0),
+        ("sf buffer", config.sf_buffer_bytes, 0.25),
+        ("att buffer", config.att_buffer_bytes, 0.25),
+    ):
+        entries.append(
+            (name, sram_area_mm2(capacity, node),
+             sram_power_mw(capacity, rate, clock, node))
+        )
+    # Control, dispatcher, memory controller, NoC: a fixed share of the
+    # datapath area (DC-synthesized "others" in Fig. 10).
+    other_area = 0.12 * sum(a for _, a, _ in entries)
+    entries.append(("others", other_area, other_area * 60.0))
+
+    return [
+        ComponentCost(
+            block="hihgnn",
+            component=name,
+            area_mm2=area,
+            power_mw=power + leakage_mw(area, node),
+        )
+        for name, area, power in entries
+    ]
+
+
+def _gdr_components(config: GDRConfig, node: TechNode) -> list[ComponentCost]:
+    clock = config.clock_ghz
+    # Decoupler state: hash table for FIFO allocation and the
+    # visited/matching bitmaps (sized for 64 K-vertex graphs).
+    hash_table_bytes = 32 * 1024
+    bitmap_bytes = 16 * 1024
+    entries = [
+        ("fifos", fifo_area_mm2(config.fifo_bytes, node),
+         fifo_power_mw(config.fifo_bytes, 6.0, clock, node)),
+        ("matching buffer", sram_area_mm2(config.matching_buffer_bytes, node),
+         sram_power_mw(config.matching_buffer_bytes, 1.0, clock, node)),
+        ("candidate buffer", sram_area_mm2(config.candidate_buffer_bytes, node),
+         sram_power_mw(config.candidate_buffer_bytes, 1.0, clock, node)),
+        ("adj list buffer", sram_area_mm2(config.adj_buffer_bytes, node),
+         sram_power_mw(config.adj_buffer_bytes, 2.0, clock, node)),
+        ("hash table", sram_area_mm2(hash_table_bytes, node),
+         sram_power_mw(hash_table_bytes, 2.0, clock, node)),
+        ("bitmaps", sram_area_mm2(bitmap_bytes, node),
+         sram_power_mw(bitmap_bytes, 2.0, clock, node)),
+    ]
+    # Backbone searcher, graph generator and control logic.
+    logic_area = 0.30 * sum(a for _, a, _ in entries)
+    entries.append(("logic", logic_area, logic_area * 120.0))
+    return [
+        ComponentCost(
+            block="gdr",
+            component=name,
+            area_mm2=area,
+            power_mw=power + leakage_mw(area, node),
+        )
+        for name, area, power in entries
+    ]
+
+
+def area_breakdown(
+    accel: HiHGNNConfig | None = None,
+    frontend: GDRConfig | None = None,
+    node: TechNode = TSMC12,
+) -> list[ComponentCost]:
+    """Per-component area/power of the combined system."""
+    accel = accel or HiHGNNConfig()
+    frontend = frontend or GDRConfig()
+    return _hihgnn_components(accel, node) + _gdr_components(frontend, node)
+
+
+def power_breakdown(
+    accel: HiHGNNConfig | None = None,
+    frontend: GDRConfig | None = None,
+    node: TechNode = TSMC12,
+) -> list[ComponentCost]:
+    """Alias of :func:`area_breakdown` (entries carry both metrics)."""
+    return area_breakdown(accel, frontend, node)
+
+
+def figure10_shares(
+    accel: HiHGNNConfig | None = None,
+    frontend: GDRConfig | None = None,
+    node: TechNode = TSMC12,
+) -> dict[str, float]:
+    """Fig. 10's headline numbers.
+
+    Returns:
+        ``{"gdr_area_mm2", "gdr_area_share", "gdr_power_mw",
+        "gdr_power_share", "total_area_mm2", "total_power_w",
+        "gdr_fifo_area_share", "gdr_buffer_area_share"}`` where shares
+        are fractions of the combined system (paper: GDR-HGNN is 2.30 %
+        of area -- 0.50 mm^2 -- and 0.46 % of power -- 55.6 mW).
+    """
+    components = area_breakdown(accel, frontend, node)
+    gdr = [c for c in components if c.block == "gdr"]
+    total_area = sum(c.area_mm2 for c in components)
+    total_power = sum(c.power_mw for c in components)
+    gdr_area = sum(c.area_mm2 for c in gdr)
+    gdr_power = sum(c.power_mw for c in gdr)
+    gdr_fifo_area = sum(c.area_mm2 for c in gdr if c.component == "fifos")
+    gdr_buffer_area = sum(c.area_mm2 for c in gdr if "buffer" in c.component)
+    return {
+        "gdr_area_mm2": gdr_area,
+        "gdr_area_share": gdr_area / total_area,
+        "gdr_power_mw": gdr_power,
+        "gdr_power_share": gdr_power / total_power,
+        "total_area_mm2": total_area,
+        "total_power_w": total_power / 1e3,
+        "gdr_fifo_area_share": gdr_fifo_area / gdr_area,
+        "gdr_buffer_area_share": gdr_buffer_area / gdr_area,
+    }

@@ -1,0 +1,82 @@
+"""Component power models (mW at the configured node and clock)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.energy.area import fifo_area_mm2, mac_array_area_mm2, simd_area_mm2, sram_area_mm2
+from repro.energy.tech import TechNode, TSMC12
+
+__all__ = [
+    "sram_power_mw",
+    "fifo_power_mw",
+    "mac_array_power_mw",
+    "simd_power_mw",
+    "leakage_mw",
+]
+
+KB = 1 << 10
+
+
+def _sram_pj_per_access(capacity_bytes: int, node: TechNode) -> float:
+    """Dynamic energy of one access; grows ~sqrt(capacity) (bitline length)."""
+    kb = max(capacity_bytes / KB, 1.0)
+    return node.sram_pj_per_access_per_kb * math.sqrt(kb)
+
+
+def sram_power_mw(
+    capacity_bytes: int,
+    accesses_per_cycle: float,
+    clock_ghz: float = 1.0,
+    node: TechNode = TSMC12,
+) -> float:
+    """Dynamic power of an SRAM macro at a given access rate.
+
+    ``pJ/access * accesses/s = mW`` (1 pJ * 1 GHz = 1 mW).
+    """
+    if accesses_per_cycle < 0 or clock_ghz <= 0:
+        raise ValueError("rates must be non-negative, clock positive")
+    return _sram_pj_per_access(capacity_bytes, node) * accesses_per_cycle * clock_ghz
+
+
+def fifo_power_mw(
+    capacity_bytes: int,
+    accesses_per_cycle: float,
+    clock_ghz: float = 1.0,
+    node: TechNode = TSMC12,
+) -> float:
+    """FIFO dynamic power: SRAM access plus pointer toggling (~25 %)."""
+    return sram_power_mw(capacity_bytes, accesses_per_cycle, clock_ghz, node) * 1.25
+
+
+def mac_array_power_mw(
+    num_macs: int,
+    utilization: float = 0.7,
+    clock_ghz: float = 1.0,
+    node: TechNode = TSMC12,
+) -> float:
+    """MAC array dynamic power at a sustained utilization."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError("utilization must be in [0, 1]")
+    flops_per_s = num_macs * 2 * utilization * clock_ghz  # GFLOP/s
+    return flops_per_s * node.mac_pj_per_flop
+
+
+def simd_power_mw(
+    num_lanes: int,
+    utilization: float = 0.5,
+    clock_ghz: float = 1.0,
+    node: TechNode = TSMC12,
+) -> float:
+    """SIMD module dynamic power (lanes cost ~1.6x a MAC per op)."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError("utilization must be in [0, 1]")
+    ops_per_s = num_lanes * utilization * clock_ghz
+    return ops_per_s * node.mac_pj_per_flop * 1.6
+
+
+def leakage_mw(area_mm2: float, node: TechNode = TSMC12) -> float:
+    """Static power of a block from its area."""
+    if area_mm2 < 0:
+        raise ValueError("area must be non-negative")
+    return area_mm2 * node.leakage_mw_per_mm2

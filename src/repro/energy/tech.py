@@ -1,0 +1,70 @@
+"""Technology node constants and scaling.
+
+Cacti reports buffers at older nodes; the paper scales them to TSMC
+12 nm with "four different scaling factors". We model a node by its
+per-bit SRAM cost, per-MAC logic cost and energy constants, and provide
+classical Dennard-ish scaling between nodes for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechNode", "TSMC12", "scale_area", "scale_energy"]
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """Cost constants of one process node.
+
+    Attributes:
+        name: node label.
+        feature_nm: drawn feature size.
+        sram_mm2_per_mb: SRAM macro area per MB including periphery.
+        mac_um2: area of one fp32 MAC unit (datapath + pipeline regs).
+        simd_lane_um2: area of one fp32 SIMD lane with transcendental
+            support.
+        sram_pj_per_access_per_kb: dynamic read energy scaling term --
+            energy per access grows ~sqrt(capacity); this constant is
+            the coefficient at 1 KB.
+        mac_pj_per_flop: dynamic energy per FLOP in the MAC array.
+        leakage_mw_per_mm2: static power density.
+    """
+
+    name: str
+    feature_nm: float
+    sram_mm2_per_mb: float
+    mac_um2: float
+    simd_lane_um2: float
+    sram_pj_per_access_per_kb: float
+    mac_pj_per_flop: float
+    leakage_mw_per_mm2: float
+
+
+# Calibrated so that HiHGNN's Table 3 configuration lands near the
+# published implementation: ~21.7 mm^2 and ~12 W total with GDR-HGNN
+# contributing 2.30 % of area and 0.46 % of power (Fig. 10).
+TSMC12 = TechNode(
+    name="tsmc12",
+    feature_nm=12.0,
+    sram_mm2_per_mb=0.45,
+    mac_um2=1450.0,
+    simd_lane_um2=2600.0,
+    sram_pj_per_access_per_kb=0.18,
+    mac_pj_per_flop=0.92,
+    leakage_mw_per_mm2=18.0,
+)
+
+
+def scale_area(area_mm2: float, from_nm: float, to_nm: float) -> float:
+    """Quadratic (ideal) area scaling between nodes."""
+    if from_nm <= 0 or to_nm <= 0:
+        raise ValueError("feature sizes must be positive")
+    return area_mm2 * (to_nm / from_nm) ** 2
+
+
+def scale_energy(energy_pj: float, from_nm: float, to_nm: float) -> float:
+    """Approximately linear dynamic-energy scaling between nodes."""
+    if from_nm <= 0 or to_nm <= 0:
+        raise ValueError("feature sizes must be positive")
+    return energy_pj * (to_nm / from_nm)

@@ -1,0 +1,37 @@
+"""GDR-HGNN: the hardware frontend (Fig. 4).
+
+Maps the graph restructuring method into microarchitecture:
+
+- :class:`~repro.frontend.decoupler.Decoupler` -- hash table,
+  set-associative matching FIFOs, visited/matching bitmaps, and the
+  matching & candidate buffers; executes Algorithm 1 and reports its
+  cycle cost.
+- :class:`~repro.frontend.recoupler.Recoupler` -- backbone searcher,
+  adjacency-list buffers and the four classification FIFOs
+  (``Src_in/Src_out/Dst_in/Dst_out``) feeding the graph generator;
+  executes Algorithm 2.
+- :class:`~repro.frontend.gdr.GDRFrontend` -- the complete frontend,
+  and :class:`~repro.frontend.gdr.GDRHGNNSystem` -- the pipelined
+  combination with the HiHGNN model in which the frontend restructures
+  semantic graph *k+1* while the accelerator executes graph *k*.
+"""
+
+from repro.frontend.config import GDRConfig
+from repro.frontend.hashtable import HashTable
+from repro.frontend.bitmap import Bitmap
+from repro.frontend.decoupler import Decoupler, DecouplerReport
+from repro.frontend.recoupler import Recoupler, RecouplerReport
+from repro.frontend.gdr import FrontendReport, GDRFrontend, GDRHGNNSystem
+
+__all__ = [
+    "GDRConfig",
+    "HashTable",
+    "Bitmap",
+    "Decoupler",
+    "DecouplerReport",
+    "Recoupler",
+    "RecouplerReport",
+    "FrontendReport",
+    "GDRFrontend",
+    "GDRHGNNSystem",
+]

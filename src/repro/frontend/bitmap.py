@@ -1,0 +1,63 @@
+"""Bitmaps of the Decoupler/Recoupler (visited and matching bitmaps)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BitmapStats", "Bitmap"]
+
+
+@dataclass
+class BitmapStats:
+    reads: int = 0
+    writes: int = 0
+    clears: int = 0
+
+
+class Bitmap:
+    """A single-cycle-access bit vector over vertex ids.
+
+    Hardware bitmaps answer "visited?" / "matched?" in one cycle; the
+    model tracks access counts so the cycle model can charge them (in
+    practice they pipeline with edge scans and cost area, not time).
+    """
+
+    def __init__(self, num_bits: int, name: str = "bitmap") -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        self.name = name
+        self._bits = np.zeros(num_bits, dtype=bool)
+        self.stats = BitmapStats()
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def test(self, index: int) -> bool:
+        self.stats.reads += 1
+        return bool(self._bits[index])
+
+    def set(self, index: int, value: bool = True) -> None:
+        self.stats.writes += 1
+        self._bits[index] = value
+
+    def set_many(self, indices: np.ndarray, value: bool = True) -> None:
+        self.stats.writes += len(indices)
+        self._bits[indices] = value
+
+    def test_many(self, indices: np.ndarray) -> np.ndarray:
+        self.stats.reads += len(indices)
+        return self._bits[indices].copy()
+
+    def count(self) -> int:
+        """Population count (a dedicated reduction tree in hardware)."""
+        return int(self._bits.sum())
+
+    def clear(self) -> None:
+        self._bits[:] = False
+        self.stats.clears += 1
+
+    @property
+    def storage_bytes(self) -> int:
+        return (len(self._bits) + 7) // 8

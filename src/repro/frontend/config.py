@@ -1,0 +1,76 @@
+"""GDR-HGNN frontend configuration (Table 3, right column)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GDRConfig"]
+
+KB = 1 << 10
+
+
+@dataclass(frozen=True)
+class GDRConfig:
+    """Microarchitectural parameters of the frontend.
+
+    Table 3 gives the storage budget: 8 KB of FIFOs, a 160 KB matching
+    buffer, a 160 KB candidate buffer and a 320 KB adjacency-list
+    buffer. Throughput parameters model the pipelined datapath: one
+    edge enters the Decoupler per cycle when no FIFO conflict stalls
+    it, and the Recoupler classifies one vertex/edge per cycle per
+    port.
+
+    Attributes:
+        clock_ghz: frontend clock, shared with the accelerator (1 GHz).
+        fifo_bytes: total FIFO storage (8 KB).
+        matching_buffer_bytes: Matching Buffer capacity (160 KB).
+        candidate_buffer_bytes: Candidate Buffer capacity (160 KB).
+        adj_buffer_bytes: Src+Dst adjacency-list buffer (320 KB).
+        entry_bytes: bytes per vertex-id entry (32-bit ids).
+        hash_ways: set-associativity of the FIFO-allocating hash table.
+        edges_per_cycle: Decoupler edge-scan throughput.
+        decouple_stall_penalty: cycles lost per FIFO-conflict stall.
+        recouple_ports: vertices classified per cycle by the Backbone
+            Searcher.
+    """
+
+    clock_ghz: float = 1.0
+    fifo_bytes: int = 8 * KB
+    matching_buffer_bytes: int = 160 * KB
+    candidate_buffer_bytes: int = 160 * KB
+    adj_buffer_bytes: int = 320 * KB
+    entry_bytes: int = 4
+    hash_ways: int = 4
+    edges_per_cycle: int = 1
+    decouple_stall_penalty: int = 2
+    recouple_ports: int = 2
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+        if min(
+            self.fifo_bytes,
+            self.matching_buffer_bytes,
+            self.candidate_buffer_bytes,
+            self.adj_buffer_bytes,
+            self.entry_bytes,
+        ) <= 0:
+            raise ValueError("storage sizes must be positive")
+
+    @property
+    def fifo_entries(self) -> int:
+        """Total vertex-id slots across all matching FIFOs."""
+        return self.fifo_bytes // self.entry_bytes
+
+    @property
+    def candidate_entries(self) -> int:
+        return self.candidate_buffer_bytes // self.entry_bytes
+
+    @property
+    def total_buffer_bytes(self) -> int:
+        return (
+            self.fifo_bytes
+            + self.matching_buffer_bytes
+            + self.candidate_buffer_bytes
+            + self.adj_buffer_bytes
+        )

@@ -1,0 +1,86 @@
+"""Set-associative hash table allocating matching FIFOs to vertices.
+
+The Decoupler cannot afford one physical FIFO per destination vertex;
+instead a hash table maps vertex ids onto a fixed pool of FIFO slots,
+"organized in a set-associative manner" (§4.3). Conflicts (more live
+vertices hashing to a set than it has ways) force a spill to the
+Matching Buffer, which the cycle model charges as a stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HashTableStats", "HashTable"]
+
+
+@dataclass
+class HashTableStats:
+    lookups: int = 0
+    inserts: int = 0
+    conflicts: int = 0  # insert found the set full -> matching-buffer spill
+    evictions: int = 0
+
+
+class HashTable:
+    """Maps vertex ids to FIFO slots with bounded associativity.
+
+    Args:
+        num_sets: number of hash sets.
+        ways: slots per set.
+    """
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("num_sets and ways must be positive")
+        self.num_sets = num_sets
+        self.ways = ways
+        self._sets: list[dict[int, int]] = [dict() for _ in range(num_sets)]
+        self._next_slot = 0
+        self.stats = HashTableStats()
+
+    def _set_of(self, key: int) -> int:
+        # Multiplicative hashing spreads consecutive vertex ids.
+        return (key * 2654435761 & 0xFFFFFFFF) % self.num_sets
+
+    def lookup(self, key: int) -> int | None:
+        """Slot currently assigned to ``key``, or None."""
+        self.stats.lookups += 1
+        return self._sets[self._set_of(key)].get(key)
+
+    def insert(self, key: int) -> tuple[int, bool]:
+        """Assign a slot to ``key``.
+
+        Returns:
+            ``(slot, conflicted)`` -- ``conflicted`` is True when the
+            set was full and the oldest occupant was displaced (a
+            Matching Buffer spill in hardware).
+        """
+        self.stats.inserts += 1
+        bucket = self._sets[self._set_of(key)]
+        if key in bucket:
+            return bucket[key], False
+        conflicted = False
+        if len(bucket) >= self.ways:
+            oldest = next(iter(bucket))
+            del bucket[oldest]
+            self.stats.conflicts += 1
+            self.stats.evictions += 1
+            conflicted = True
+        slot = self._next_slot
+        self._next_slot += 1
+        bucket[key] = slot
+        return slot, conflicted
+
+    def remove(self, key: int) -> None:
+        """Free ``key``'s slot if present."""
+        self._sets[self._set_of(key)].pop(key, None)
+
+    def clear(self) -> None:
+        """Flush all sets (between semantic graphs); stats persist."""
+        for bucket in self._sets:
+            bucket.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)

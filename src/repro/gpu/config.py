@@ -1,0 +1,97 @@
+"""GPU platform parameters (public spec sheets + calibrated derates)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUConfig", "T4", "A100"]
+
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Roofline parameters of one GPU.
+
+    Hardware numbers come from the public datasheets; the efficiency
+    fractions are the calibrated derates of DGL 1.0.2 kernels:
+
+    Attributes:
+        name: platform label.
+        fp32_tflops: peak fp32 throughput.
+        mem_bw_gbps: peak DRAM bandwidth (GB/s).
+        l2_bytes: L2 cache capacity.
+        l2_feature_fraction: share of L2 effectively available to
+            vertex features during NA (the rest holds indices, partial
+            outputs and other tensors).
+        gemm_efficiency: achieved fraction of peak FLOPs in dense
+            projection kernels.
+        stream_bw_fraction: achieved fraction of peak bandwidth for
+            sequential streams.
+        scatter_bw_fraction: achieved fraction of peak bandwidth for
+            the NA gather's scattered reads (cache-miss, TLB and
+            sectoring penalties).
+        kernel_launch_us: per-kernel launch latency.
+        dispatch_us_per_stage: DGL framework overhead per
+            relation-stage (Python dispatch, format checks, stream
+            syncs) -- the dominant cost on small heterogeneous graphs.
+        fixed_overhead_ms: per-inference overhead (graph preparation,
+            type grouping, initial transfers).
+    """
+
+    name: str
+    fp32_tflops: float
+    mem_bw_gbps: float
+    l2_bytes: int
+    l2_feature_fraction: float = 0.5
+    gemm_efficiency: float = 0.55
+    stream_bw_fraction: float = 0.75
+    scatter_bw_fraction: float = 0.04
+    kernel_launch_us: float = 4.0
+    dispatch_us_per_stage: float = 500.0
+    fixed_overhead_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.fp32_tflops <= 0 or self.mem_bw_gbps <= 0 or self.l2_bytes <= 0:
+            raise ValueError("hardware parameters must be positive")
+        for frac in (
+            self.l2_feature_fraction,
+            self.gemm_efficiency,
+            self.stream_bw_fraction,
+            self.scatter_bw_fraction,
+        ):
+            if not 0.0 < frac <= 1.0:
+                raise ValueError("efficiency fractions must be in (0, 1]")
+
+    @property
+    def peak_flops(self) -> float:
+        return self.fp32_tflops * 1e12
+
+    @property
+    def peak_bytes_per_s(self) -> float:
+        return self.mem_bw_gbps * 1e9
+
+
+T4 = GPUConfig(
+    name="t4",
+    fp32_tflops=8.1,
+    mem_bw_gbps=320.0,
+    l2_bytes=4 * MB,
+    scatter_bw_fraction=0.025,
+    gemm_efficiency=0.50,
+    kernel_launch_us=5.0,
+    dispatch_us_per_stage=900.0,
+    fixed_overhead_ms=3.0,
+)
+
+A100 = GPUConfig(
+    name="a100",
+    fp32_tflops=19.5,
+    mem_bw_gbps=1555.0,
+    l2_bytes=40 * MB,
+    scatter_bw_fraction=0.06,
+    gemm_efficiency=0.60,
+    kernel_launch_us=4.0,
+    dispatch_us_per_stage=280.0,
+    fixed_overhead_ms=1.5,
+)

@@ -1,0 +1,37 @@
+"""Heterogeneous graph substrate.
+
+Provides the data structures the rest of the system is built on:
+
+- :class:`~repro.graph.hetero.HeteroGraph` -- a typed heterogeneous
+  graph ``G = (V, E, T_v, T_e)`` with per-type vertex sets and
+  per-relation edge sets.
+- :class:`~repro.graph.semantic.SemanticGraph` -- a directed bipartite
+  semantic graph produced by the Semantic Graph Build (SGB) stage.
+- :func:`~repro.graph.datasets.load_dataset` -- statistically matched
+  synthetic versions of the ACM / IMDB / DBLP datasets of Table 2.
+"""
+
+from repro.graph.csr import CSR
+from repro.graph.hetero import HeteroGraph, Relation
+from repro.graph.semantic import SemanticGraph, build_semantic_graphs, compose_metapath
+from repro.graph.generators import chung_lu_bipartite, power_law_weights
+from repro.graph.datasets import DATASET_SPECS, DatasetSpec, load_dataset
+from repro.graph.stats import GraphStats, graph_stats, degree_histogram, gini
+
+__all__ = [
+    "CSR",
+    "HeteroGraph",
+    "Relation",
+    "SemanticGraph",
+    "build_semantic_graphs",
+    "compose_metapath",
+    "chung_lu_bipartite",
+    "power_law_weights",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "load_dataset",
+    "GraphStats",
+    "graph_stats",
+    "degree_histogram",
+    "gini",
+]

@@ -1,0 +1,122 @@
+"""Compressed sparse row adjacency used throughout the library.
+
+The simulators walk adjacency millions of times, so the representation
+is two flat int64 arrays (``indptr``, ``indices``) rather than Python
+dicts. Rows are *source* vertices; a CSC view of the same edge set is
+just a CSR built with the roles swapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CSR"]
+
+
+@dataclass(frozen=True)
+class CSR:
+    """Immutable CSR adjacency over ``num_rows`` row vertices.
+
+    Attributes:
+        indptr: ``(num_rows + 1,)`` int64 array; row ``u`` owns
+            ``indices[indptr[u]:indptr[u + 1]]``.
+        indices: ``(num_edges,)`` int64 array of column vertex ids.
+        num_cols: number of column vertices (columns may be absent from
+            ``indices`` when isolated).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    num_cols: int
+
+    def __post_init__(self) -> None:
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D arrays")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_cols
+        ):
+            raise ValueError("indices out of range for num_cols")
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        num_rows: int,
+        num_cols: int,
+        *,
+        sort_cols: bool = True,
+    ) -> "CSR":
+        """Build a CSR from COO edge arrays.
+
+        Args:
+            rows: source vertex id per edge.
+            cols: destination vertex id per edge.
+            num_rows: number of row vertices.
+            num_cols: number of column vertices.
+            sort_cols: sort each row's neighbor list ascending, giving a
+                canonical representation (useful for equality in tests).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must have the same shape")
+        if len(rows) and (rows.min() < 0 or rows.max() >= num_rows):
+            raise ValueError("row id out of range")
+        if len(cols) and (cols.min() < 0 or cols.max() >= num_cols):
+            raise ValueError("col id out of range")
+
+        if sort_cols:
+            order = np.lexsort((cols, rows))
+        else:
+            order = np.argsort(rows, kind="stable")
+        rows_sorted = rows[order]
+        cols_sorted = cols[order]
+        counts = np.bincount(rows_sorted, minlength=num_rows)
+        indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr=indptr, indices=cols_sorted, num_cols=num_cols)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of row vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored edges."""
+        return len(self.indices)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Neighbor ids of row vertex ``u`` (a zero-copy view)."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def degree(self, u: int) -> int:
+        """Out-degree of row vertex ``u``."""
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every row vertex as an int64 array."""
+        return np.diff(self.indptr)
+
+    def transpose(self) -> "CSR":
+        """The same edge set with rows and columns swapped (a CSC view)."""
+        rows = np.repeat(np.arange(self.num_rows, dtype=np.int64), self.degrees())
+        return CSR.from_coo(self.indices, rows, self.num_cols, self.num_rows)
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(rows, cols)`` COO arrays in row-major order."""
+        rows = np.repeat(np.arange(self.num_rows, dtype=np.int64), self.degrees())
+        return rows, self.indices.copy()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` is present (binary search per row)."""
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < len(row) and row[pos] == v)

@@ -1,0 +1,261 @@
+"""Semantic graphs and the Semantic Graph Build (SGB) stage.
+
+The SGB stage partitions a heterogeneous graph into *semantic graphs*,
+one per relation (or per metapath). Each semantic graph is directed and
+bipartite: source vertices of one type point at destination vertices of
+another (self-relations such as ACM's ``P -> P`` are still treated as
+bipartite by giving the two roles disjoint id spaces, matching the
+paper's observation that semantic graphs are "general bipartite").
+
+The bipartite nature is exactly what the decoupling/recoupling method of
+:mod:`repro.restructure` exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.graph.csr import CSR
+from repro.graph.hetero import HeteroGraph, Relation
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["SemanticGraph", "build_semantic_graphs", "compose_metapath"]
+
+
+@dataclass
+class SemanticGraph:
+    """A directed bipartite semantic graph ``G_P``.
+
+    Attributes:
+        relation: the relation (or synthetic metapath relation) that
+            produced this graph.
+        num_src: number of source-side vertices.
+        num_dst: number of destination-side vertices.
+        src: per-edge source local ids, ``(num_edges,)`` int64.
+        dst: per-edge destination local ids, ``(num_edges,)`` int64.
+        src_global_base: global-id offset of the source type in the
+            parent :class:`HeteroGraph` (feature addressing).
+        dst_global_base: global-id offset of the destination type.
+        src_feature_dim: raw feature dimension on the source side.
+        dst_feature_dim: raw feature dimension on the destination side.
+    """
+
+    relation: Relation
+    num_src: int
+    num_dst: int
+    src: np.ndarray
+    dst: np.ndarray
+    src_global_base: int = 0
+    dst_global_base: int = 0
+    src_feature_dim: int = 0
+    dst_feature_dim: int = 0
+    _csr: CSR | None = field(default=None, repr=False, compare=False)
+    _csc: CSR | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape:
+            raise ValueError("src and dst edge arrays must match in length")
+        if len(self.src):
+            if self.src.min() < 0 or self.src.max() >= self.num_src:
+                raise ValueError("source id out of range")
+            if self.dst.min() < 0 or self.dst.max() >= self.num_dst:
+                raise ValueError("destination id out of range")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    @property
+    def num_vertices(self) -> int:
+        """Total vertices across both sides."""
+        return self.num_src + self.num_dst
+
+    @property
+    def csr(self) -> CSR:
+        """Source-major adjacency (``neighbors_out``)."""
+        if self._csr is None:
+            self._csr = CSR.from_coo(self.src, self.dst, self.num_src, self.num_dst)
+        return self._csr
+
+    @property
+    def csc(self) -> CSR:
+        """Destination-major adjacency (``neighbors_in``)."""
+        if self._csc is None:
+            self._csc = CSR.from_coo(self.dst, self.src, self.num_dst, self.num_src)
+        return self._csc
+
+    def neighbors_out(self, u: int) -> np.ndarray:
+        """Destinations reached from source vertex ``u``."""
+        return self.csr.neighbors(u)
+
+    def neighbors_in(self, v: int) -> np.ndarray:
+        """Sources pointing at destination vertex ``v``."""
+        return self.csc.neighbors(v)
+
+    def src_degrees(self) -> np.ndarray:
+        return self.csr.degrees()
+
+    def dst_degrees(self) -> np.ndarray:
+        return self.csc.degrees()
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """The edge set as Python tuples (test helper; O(E) memory)."""
+        return set(zip(self.src.tolist(), self.dst.tolist()))
+
+    def src_global_ids(self, local_ids: np.ndarray | None = None) -> np.ndarray:
+        """Global feature ids for source vertices (default: all)."""
+        if local_ids is None:
+            local_ids = np.arange(self.num_src, dtype=np.int64)
+        return np.asarray(local_ids, dtype=np.int64) + self.src_global_base
+
+    def dst_global_ids(self, local_ids: np.ndarray | None = None) -> np.ndarray:
+        """Global feature ids for destination vertices (default: all)."""
+        if local_ids is None:
+            local_ids = np.arange(self.num_dst, dtype=np.int64)
+        return np.asarray(local_ids, dtype=np.int64) + self.dst_global_base
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def edge_subgraph(self, mask: np.ndarray) -> "SemanticGraph":
+        """Subgraph keeping edges where ``mask`` is true; ids preserved.
+
+        The vertex id spaces (and hence global feature addresses) are
+        unchanged, which is what the hardware needs: restructured
+        subgraphs must still address the same features in DRAM.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.src.shape:
+            raise ValueError("mask must have one entry per edge")
+        return SemanticGraph(
+            relation=self.relation,
+            num_src=self.num_src,
+            num_dst=self.num_dst,
+            src=self.src[mask],
+            dst=self.dst[mask],
+            src_global_base=self.src_global_base,
+            dst_global_base=self.dst_global_base,
+            src_feature_dim=self.src_feature_dim,
+            dst_feature_dim=self.dst_feature_dim,
+        )
+
+    def active_src(self) -> np.ndarray:
+        """Source vertices with at least one edge, ascending."""
+        return np.unique(self.src)
+
+    def active_dst(self) -> np.ndarray:
+        """Destination vertices with at least one edge, ascending."""
+        return np.unique(self.dst)
+
+    def reversed(self) -> "SemanticGraph":
+        """The reverse semantic graph (roles swapped)."""
+        return SemanticGraph(
+            relation=self.relation.reversed(),
+            num_src=self.num_dst,
+            num_dst=self.num_src,
+            src=self.dst.copy(),
+            dst=self.src.copy(),
+            src_global_base=self.dst_global_base,
+            dst_global_base=self.src_global_base,
+            src_feature_dim=self.dst_feature_dim,
+            dst_feature_dim=self.src_feature_dim,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SemanticGraph({self.relation}, src={self.num_src}, "
+            f"dst={self.num_dst}, edges={self.num_edges})"
+        )
+
+
+def build_semantic_graphs(graph: HeteroGraph) -> list[SemanticGraph]:
+    """The SGB stage: one semantic graph per relation of ``graph``.
+
+    Every returned graph carries global-id bases so downstream
+    simulators can convert vertex ids into DRAM feature addresses.
+    """
+    semantic_graphs = []
+    for relation in graph.relations:
+        src, dst = graph.edges_of(relation)
+        semantic_graphs.append(
+            SemanticGraph(
+                relation=relation,
+                num_src=graph.num_vertices(relation.src_type),
+                num_dst=graph.num_vertices(relation.dst_type),
+                src=src.copy(),
+                dst=dst.copy(),
+                src_global_base=graph.type_offset(relation.src_type),
+                dst_global_base=graph.type_offset(relation.dst_type),
+                src_feature_dim=graph.feature_dim(relation.src_type),
+                dst_feature_dim=graph.feature_dim(relation.dst_type),
+            )
+        )
+    return semantic_graphs
+
+
+def compose_metapath(
+    first: SemanticGraph, second: SemanticGraph, name: str | None = None
+) -> SemanticGraph:
+    """Compose two semantic graphs along a metapath (e.g. ``A->P->V``).
+
+    The destination type of ``first`` must be the source type of
+    ``second``. The result connects ``first``'s sources to ``second``'s
+    destinations whenever a 2-hop path exists; parallel paths collapse
+    to a single edge (the usual metapath-graph semantics).
+    """
+    if first.relation.dst_type != second.relation.src_type:
+        raise ValueError(
+            f"cannot compose {first.relation} with {second.relation}: "
+            "destination/source types do not match"
+        )
+    if first.num_dst != second.num_src:
+        raise ValueError("intermediate vertex counts do not match")
+
+    csr_a = first.csr
+    csr_b = second.csr
+    out_src: list[np.ndarray] = []
+    out_dst: list[np.ndarray] = []
+    for u in range(first.num_src):
+        mids = csr_a.neighbors(u)
+        if not len(mids):
+            continue
+        # Gather all 2-hop endpoints, then dedupe.
+        ends = np.concatenate([csr_b.neighbors(int(m)) for m in mids])
+        if not len(ends):
+            continue
+        ends = np.unique(ends)
+        out_src.append(np.full(len(ends), u, dtype=np.int64))
+        out_dst.append(ends)
+
+    src = np.concatenate(out_src) if out_src else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(out_dst) if out_dst else np.empty(0, dtype=np.int64)
+    relation = Relation(
+        src_type=first.relation.src_type,
+        name=name
+        if name is not None
+        else f"{first.relation.name}.{second.relation.name}",
+        dst_type=second.relation.dst_type,
+    )
+    return SemanticGraph(
+        relation=relation,
+        num_src=first.num_src,
+        num_dst=second.num_dst,
+        src=src,
+        dst=dst,
+        src_global_base=first.src_global_base,
+        dst_global_base=second.dst_global_base,
+        src_feature_dim=first.src_feature_dim,
+        dst_feature_dim=second.dst_feature_dim,
+    )

@@ -1,0 +1,32 @@
+"""Hardware memory models.
+
+Everything the simulators touch memory through lives here:
+
+- :class:`~repro.memory.fifo.HardwareFIFO` -- bounded FIFOs with
+  occupancy statistics (the Decoupler/Recoupler building block).
+- :class:`~repro.memory.cache.SetAssociativeCache` -- LRU cache used as
+  the GPU L2 model.
+- :class:`~repro.memory.buffer.FeatureBuffer` -- an explicitly managed
+  scratchpad holding vertex features, with replacement accounting (the
+  accelerator's NA buffer; source of Fig. 2).
+- :class:`~repro.memory.dram.HBMModel` -- channelled HBM with
+  row-buffer behaviour and service-cycle accounting (Ramulator-lite).
+"""
+
+from repro.memory.fifo import HardwareFIFO, FIFOStats
+from repro.memory.cache import CacheConfig, CacheStats, SetAssociativeCache
+from repro.memory.buffer import BufferStats, FeatureBuffer
+from repro.memory.dram import HBMConfig, HBMModel, DRAMStats
+
+__all__ = [
+    "HardwareFIFO",
+    "FIFOStats",
+    "CacheConfig",
+    "CacheStats",
+    "SetAssociativeCache",
+    "BufferStats",
+    "FeatureBuffer",
+    "HBMConfig",
+    "HBMModel",
+    "DRAMStats",
+]

@@ -1,0 +1,124 @@
+"""Set-associative LRU cache (the GPU L2 model).
+
+The paper's motivation section measures L2 hit ratios of DGL's NA stage
+on a T4 GPU (30.1 % on IMDB, 17.5 % on DBLP). The GPU performance model
+replays the same access stream through this cache with the real chips'
+L2 geometries to reproduce those ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheConfig", "CacheStats", "SetAssociativeCache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a set-associative cache.
+
+    Attributes:
+        size_bytes: total data capacity.
+        line_bytes: cache-line size.
+        ways: associativity.
+    """
+
+    size_bytes: int
+    line_bytes: int = 128
+    ways: int = 16
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ValueError("cache dimensions must be positive")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("size must be a multiple of line_bytes * ways")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_from_dram: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A set-associative cache with true-LRU replacement.
+
+    Per-set recency is a Python list ordered least- to most-recently
+    used; associativities in the 8-32 range keep the list operations
+    cheap.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        """Map a byte address to ``(set index, tag)``."""
+        line = address // self.config.line_bytes
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def access_line(self, address: int) -> bool:
+        """Touch the line containing ``address``; True on hit."""
+        set_idx, tag = self._locate(address)
+        lru = self._sets[set_idx]
+        try:
+            lru.remove(tag)
+        except ValueError:
+            self.stats.misses += 1
+            self.stats.bytes_from_dram += self.config.line_bytes
+            if len(lru) >= self.config.ways:
+                lru.pop(0)
+                self.stats.evictions += 1
+            lru.append(tag)
+            return False
+        self.stats.hits += 1
+        lru.append(tag)
+        return True
+
+    def access(self, address: int, nbytes: int) -> int:
+        """Touch every line in ``[address, address + nbytes)``.
+
+        Returns:
+            Number of missing lines (each costs a DRAM line fetch).
+        """
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        line = self.config.line_bytes
+        first = address // line
+        last = (address + nbytes - 1) // line
+        misses = 0
+        for ln in range(first, last + 1):
+            if not self.access_line(ln * line):
+                misses += 1
+        return misses
+
+    def contains(self, address: int) -> bool:
+        """Presence check without updating recency or statistics."""
+        set_idx, tag = self._locate(address)
+        return tag in self._sets[set_idx]
+
+    def flush(self) -> None:
+        """Invalidate all contents; statistics are preserved."""
+        for lru in self._sets:
+            lru.clear()
+
+    @property
+    def occupancy_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,93 @@
+"""Bounded hardware FIFO model with occupancy statistics."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+__all__ = ["FIFOStats", "HardwareFIFO"]
+
+
+@dataclass
+class FIFOStats:
+    """Lifetime statistics of one FIFO."""
+
+    pushes: int = 0
+    pops: int = 0
+    stalls: int = 0  # pushes attempted while full
+    high_water: int = 0  # maximum occupancy observed
+
+
+class HardwareFIFO:
+    """A fixed-capacity FIFO queue, as instantiated in the Decoupler.
+
+    Pushing into a full FIFO raises by default; with
+    ``stall_on_full=True`` the push is rejected, counted as a stall,
+    and the caller is expected to retry (the hardware back-pressure
+    behaviour the cycle model charges for).
+
+    Args:
+        capacity: maximum number of entries.
+        name: label used in error messages and reports.
+        stall_on_full: reject-and-count instead of raising when full.
+    """
+
+    def __init__(
+        self, capacity: int, name: str = "fifo", *, stall_on_full: bool = False
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("FIFO capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self.stall_on_full = stall_on_full
+        self._items: deque = deque()
+        self.stats = FIFOStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item) -> bool:
+        """Push one item; returns False (and counts a stall) if full."""
+        if self.is_full:
+            self.stats.stalls += 1
+            if self.stall_on_full:
+                return False
+            raise OverflowError(f"push into full FIFO {self.name!r}")
+        self._items.append(item)
+        self.stats.pushes += 1
+        if len(self._items) > self.stats.high_water:
+            self.stats.high_water = len(self._items)
+        return True
+
+    def pop(self):
+        """Pop the oldest item; raises ``IndexError`` when empty."""
+        if not self._items:
+            raise IndexError(f"pop from empty FIFO {self.name!r}")
+        self.stats.pops += 1
+        return self._items.popleft()
+
+    def peek(self):
+        """The oldest item without removing it."""
+        if not self._items:
+            raise IndexError(f"peek into empty FIFO {self.name!r}")
+        return self._items[0]
+
+    def drain(self) -> list:
+        """Pop everything, oldest first."""
+        out = []
+        while self._items:
+            out.append(self.pop())
+        return out
+
+    def clear(self) -> None:
+        """Drop contents without counting pops (a hardware flush)."""
+        self._items.clear()

@@ -1,0 +1,42 @@
+"""Functional HGNN models (RGCN, RGAT, Simple-HGN).
+
+Each model executes the paper's four-stage workflow in numpy:
+
+1. **SGB** -- semantic graph build (delegated to
+   :func:`repro.graph.build_semantic_graphs`),
+2. **FP** -- per-type feature projection through an MLP,
+3. **NA** -- neighbor aggregation inside each semantic graph,
+4. **SF** -- semantic fusion of per-relation results per vertex.
+
+The functional layer serves two purposes: it is the reference
+implementation the restructured execution is checked against (processing
+the three recoupled subgraphs must reproduce the original NA output
+bit-for-bit up to float associativity), and it supplies the per-stage
+FLOP/byte workload numbers the performance models consume.
+"""
+
+from repro.models.base import HGNNModel, ModelConfig, make_features
+from repro.models.rgcn import RGCN
+from repro.models.rgat import RGAT
+from repro.models.simple_hgn import SimpleHGN
+from repro.models.workload import (
+    StageWork,
+    SemanticGraphWork,
+    WorkloadModel,
+    MODEL_REGISTRY,
+    get_model,
+)
+
+__all__ = [
+    "HGNNModel",
+    "ModelConfig",
+    "make_features",
+    "RGCN",
+    "RGAT",
+    "SimpleHGN",
+    "StageWork",
+    "SemanticGraphWork",
+    "WorkloadModel",
+    "MODEL_REGISTRY",
+    "get_model",
+]

@@ -1,0 +1,287 @@
+"""Model base class, configuration, and feature synthesis."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.hetero import HeteroGraph
+from repro.graph.semantic import SemanticGraph, build_semantic_graphs
+
+__all__ = ["ModelConfig", "make_features", "HGNNModel"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters shared by all three models.
+
+    The HiHGNN evaluation (which this paper inherits, §5.1) uses
+    single-layer inference with a common hidden size; heads only affect
+    attention models.
+
+    Attributes:
+        hidden_dim: projected feature dimension after FP. The default
+            512 follows the HGB convention HiHGNN inherits (8 heads x
+            64 per head, concatenated); it also sets the on-chip
+            feature-vector footprint (2 KB at fp32) that determines
+            buffer pressure.
+        num_heads: attention heads (RGAT / Simple-HGN).
+        embed_dim: per-type input-projection dimension. Following the
+            HGB pipeline, every vertex type's raw features are first
+            projected once (type-wise) to ``embed_dim``; the
+            per-relation FP projections then map ``embed_dim`` to
+            ``hidden_dim``. Featureless types get ``embed_dim``
+            synthetic embeddings directly.
+        feature_bytes: bytes per scalar feature in hardware (fp32 = 4).
+        negative_slope: LeakyReLU slope in attention scoring.
+        edge_embed_dim: edge-type embedding size (Simple-HGN).
+    """
+
+    hidden_dim: int = 512
+    num_heads: int = 8
+    embed_dim: int = 64
+    feature_bytes: int = 4
+    negative_slope: float = 0.05
+    edge_embed_dim: int = 64
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim <= 0 or self.num_heads <= 0 or self.embed_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        if self.hidden_dim % self.num_heads:
+            raise ValueError("hidden_dim must divide evenly into heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_dim // self.num_heads
+
+    @property
+    def feature_vector_bytes(self) -> int:
+        """On-chip bytes of one projected feature vector."""
+        return self.hidden_dim * self.feature_bytes
+
+
+def make_features(
+    graph: HeteroGraph,
+    config: ModelConfig | None = None,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Synthesize per-type input features.
+
+    Types with a raw feature dimension get that dimension; featureless
+    types (e.g. IMDB keywords) get ``config.embed_dim`` synthetic
+    embeddings, mirroring DGL's learnable-embedding fallback.
+    """
+    config = config or ModelConfig()
+    rng = np.random.default_rng(seed)
+    features = {}
+    for vtype in graph.vertex_types:
+        dim = graph.feature_dim(vtype) or config.embed_dim
+        n = graph.num_vertices(vtype)
+        features[vtype] = rng.standard_normal((n, dim)) * 0.1
+    return features
+
+
+class HGNNModel(ABC):
+    """Base class: a single-layer HGNN as an SGB/FP/NA/SF pipeline.
+
+    Subclasses implement the three compute stages; SGB is shared.
+
+    The NA stage returns an *unnormalized accumulator* -- a
+    ``(numerator, denominator)`` pair -- rather than a finished result.
+    Accumulators from edge-disjoint subgraphs of the same relation add
+    element-wise, so executing the three recoupled subgraphs of a
+    relation reproduces the original semantic graph's NA output
+    exactly. (For softmax attention the accumulator is
+    ``sum(exp(score) * message) / sum(exp(score))``; scores here are
+    bounded, so the unshifted form is numerically safe.)
+    """
+
+    name: str = "hgnn"
+
+    def __init__(self, config: ModelConfig | None = None) -> None:
+        self.config = config or ModelConfig()
+
+    # ------------------------------------------------------------------
+    # Stage interfaces
+    # ------------------------------------------------------------------
+
+    def init_input_projection(
+        self, graph: HeteroGraph, rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        """Per-type input projection weights (raw dim -> embed_dim)."""
+        from repro.models.layers import xavier_uniform
+
+        return {
+            vtype: xavier_uniform(
+                rng,
+                graph.feature_dim(vtype) or self.config.embed_dim,
+                self.config.embed_dim,
+            )
+            for vtype in graph.vertex_types
+        }
+
+    def input_projection(
+        self, features: dict[str, np.ndarray], params: dict
+    ) -> dict[str, np.ndarray]:
+        """Project every type's raw features to ``embed_dim`` (once)."""
+        return {
+            vtype: feats @ params["w_in"][vtype]
+            for vtype, feats in features.items()
+        }
+
+    @abstractmethod
+    def init_params(self, graph: HeteroGraph, seed: int = 0) -> dict:
+        """Create all learnable parameters for ``graph``'s schema.
+
+        Every subclass must include the shared ``"w_in"`` entry from
+        :meth:`init_input_projection`.
+        """
+
+    @abstractmethod
+    def feature_projection(
+        self,
+        semantic_graphs: list[SemanticGraph],
+        features: dict[str, np.ndarray],
+        params: dict,
+    ) -> dict[str, dict[str, np.ndarray | None]]:
+        """FP stage: per-relation projection into the hidden space.
+
+        Args:
+            features: *embedded* per-type features (``embed_dim`` wide,
+                the output of :meth:`input_projection`).
+
+        Returns:
+            ``{str(relation): {"src": (num_src, hidden),
+            "dst": (num_dst, hidden) or None}}``; ``dst`` is only
+            materialized by models whose attention scores need it.
+        """
+
+    @abstractmethod
+    def neighbor_aggregation(
+        self,
+        graph: SemanticGraph,
+        projected: dict[str, np.ndarray | None],
+        params: dict,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """NA stage over one semantic graph (or restructured subgraph).
+
+        Args:
+            graph: semantic graph; restructured subgraphs keep the
+                original id spaces so indexing is unchanged.
+            projected: the relation's FP output (``src``/``dst``).
+            params: model parameters.
+
+        Returns:
+            ``(numerator, denominator)`` with shapes
+            ``(num_dst, hidden)`` and ``(num_dst,)``. The final
+            aggregation is ``numerator / max(denominator, eps)``;
+            accumulators of edge-disjoint subgraphs sum.
+        """
+
+    @abstractmethod
+    def semantic_fusion(
+        self,
+        graph: HeteroGraph,
+        na_results: dict[str, np.ndarray],
+        features: dict[str, np.ndarray],
+        params: dict,
+    ) -> dict[str, np.ndarray]:
+        """SF stage: fuse per-relation NA outputs per destination type.
+
+        Args:
+            na_results: ``{str(relation): (num_dst, hidden)}`` finished
+                (normalized) NA outputs.
+        """
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def finalize_na(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+        """Normalize an NA accumulator into the finished aggregation.
+
+        ``denominator`` is ``(num_dst,)`` for single normalizers or
+        ``(num_dst, heads)`` for per-head attention normalizers (each
+        head's denominator is repeated across its head_dim columns).
+        """
+        safe = np.where(denominator == 0.0, 1.0, denominator)
+        if denominator.ndim == 1:
+            return numerator / safe[:, None]
+        heads = denominator.shape[1]
+        head_dim = numerator.shape[1] // heads
+        return numerator / np.repeat(safe, head_dim, axis=1)
+
+    def forward(
+        self,
+        graph: HeteroGraph,
+        features: dict[str, np.ndarray],
+        params: dict,
+        semantic_graphs: list[SemanticGraph] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Full SGB -> FP -> NA -> SF inference pass.
+
+        Args:
+            graph: the heterogeneous graph.
+            features: per-type raw features (see :func:`make_features`).
+            params: parameters from :meth:`init_params`.
+            semantic_graphs: override the SGB output, e.g. with the
+                restructured subgraph sequence. Multiple graphs of the
+                same relation have their NA accumulators summed, so the
+                three recoupled subgraphs of a relation reproduce the
+                unrestructured result.
+
+        Returns:
+            ``{vtype: (n, hidden) array}`` final embeddings.
+        """
+        if semantic_graphs is None:
+            semantic_graphs = build_semantic_graphs(graph)
+        embedded = self.input_projection(features, params)
+        projected = self.feature_projection(semantic_graphs, embedded, params)
+
+        accumulators: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for sg in semantic_graphs:
+            key = str(sg.relation)
+            numerator, denominator = self.neighbor_aggregation(
+                sg, projected[key], params
+            )
+            if key in accumulators:
+                prev_num, prev_den = accumulators[key]
+                accumulators[key] = (prev_num + numerator, prev_den + denominator)
+            else:
+                accumulators[key] = (numerator, denominator)
+
+        na_results = {
+            key: self.finalize_na(num, den)
+            for key, (num, den) in accumulators.items()
+        }
+        return self.semantic_fusion(graph, na_results, embedded, params)
+
+    # ------------------------------------------------------------------
+    # Workload coefficients (consumed by repro.models.workload)
+    # ------------------------------------------------------------------
+
+    def input_proj_flops_per_vertex(self, raw_dim: int) -> int:
+        """FLOPs of the once-per-type raw -> embed projection."""
+        return 2 * raw_dim * self.config.embed_dim
+
+    def fp_flops_per_vertex(self, in_dim: int | None = None) -> int:
+        """FLOPs of the per-relation embed -> hidden projection."""
+        if in_dim is None:
+            in_dim = self.config.embed_dim
+        return 2 * in_dim * self.config.hidden_dim
+
+    @property
+    def projects_destinations(self) -> bool:
+        """Whether FP also projects destination vertices (attention)."""
+        return False
+
+    @abstractmethod
+    def na_flops_per_edge(self) -> int:
+        """FLOPs charged per edge during neighbor aggregation."""
+
+    @abstractmethod
+    def sf_flops_per_vertex(self, num_relations: int) -> int:
+        """FLOPs to fuse ``num_relations`` semantic results for one vertex."""

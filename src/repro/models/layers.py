@@ -1,0 +1,114 @@
+"""Shared neural layers and segment operations (numpy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "linear",
+    "relu",
+    "leaky_relu",
+    "elu",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+    "row_normalize_adjacency",
+]
+
+
+def xavier_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform weight initialization."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    bound = float(np.sqrt(6.0 / (fan_in + fan_out)))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out)).astype(np.float64)
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Affine projection ``x @ weight (+ bias)``."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.01) -> np.ndarray:
+    return np.where(x >= 0.0, x, negative_slope * x)
+
+
+def elu(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    return np.where(x >= 0.0, x, alpha * np.expm1(x))
+
+
+def segment_sum(
+    values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sum ``values`` rows into ``num_segments`` buckets.
+
+    Args:
+        values: ``(n, d)`` or ``(n,)`` array.
+        segment_ids: ``(n,)`` bucket index per row.
+        num_segments: number of output rows.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if values.shape[0] != segment_ids.shape[0]:
+        raise ValueError("values and segment_ids must agree on length")
+    out_shape = (num_segments,) + values.shape[1:]
+    out = np.zeros(out_shape, dtype=values.dtype)
+    np.add.at(out, segment_ids, values)
+    return out
+
+
+def segment_mean(
+    values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Per-bucket mean; empty buckets yield zero rows."""
+    totals = segment_sum(values, segment_ids, num_segments)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(values.dtype)
+    counts = np.maximum(counts, 1)
+    return totals / counts.reshape((num_segments,) + (1,) * (values.ndim - 1))
+
+
+def segment_max(
+    values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Per-bucket max; empty buckets yield ``-inf`` rows."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_shape = (num_segments,) + values.shape[1:]
+    out = np.full(out_shape, -np.inf, dtype=values.dtype)
+    np.maximum.at(out, segment_ids, values)
+    return out
+
+
+def segment_softmax(
+    scores: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Numerically stable softmax within each segment.
+
+    The attention normalization of the NA stage: ``scores`` are per-edge
+    logits, segments are destination vertices.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    maxes = segment_max(scores, segment_ids, num_segments)
+    shifted = scores - maxes[segment_ids]
+    exp = np.exp(shifted)
+    sums = segment_sum(exp, segment_ids, num_segments)
+    sums = np.where(sums == 0.0, 1.0, sums)
+    return exp / sums[segment_ids]
+
+
+def row_normalize_adjacency(
+    dst_ids: np.ndarray, num_dst: int
+) -> np.ndarray:
+    """Per-edge ``1 / in_degree(dst)`` coefficients (RGCN's ``1/c_{i,r}``)."""
+    degrees = np.bincount(dst_ids, minlength=num_dst).astype(np.float64)
+    degrees = np.maximum(degrees, 1.0)
+    return 1.0 / degrees[dst_ids]

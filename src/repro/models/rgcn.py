@@ -1,0 +1,117 @@
+"""RGCN (Schlichtkrull et al., ESWC'18) as an HGNN stage pipeline.
+
+Single relational graph-convolution layer:
+
+.. math::
+
+    h_v = \\mathrm{ReLU}\\Big( W_0 x_v + \\sum_{R} \\sum_{u \\in N_R(v)}
+          \\tfrac{1}{c_{v,R}} W_R x_u \\Big)
+
+with :math:`c_{v,R}` the in-degree of ``v`` under relation ``R``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.hetero import HeteroGraph
+from repro.graph.semantic import SemanticGraph
+from repro.models.base import HGNNModel, ModelConfig
+from repro.models.layers import linear, relu, segment_sum, xavier_uniform
+
+__all__ = ["RGCN"]
+
+
+class RGCN(HGNNModel):
+    """Relational GCN: mean aggregation per relation, summed fusion."""
+
+    name = "rgcn"
+
+    def init_params(self, graph: HeteroGraph, seed: int = 0) -> dict:
+        rng = np.random.default_rng(seed)
+        hidden = self.config.hidden_dim
+        embed = self.config.embed_dim
+        weights = {
+            str(relation): xavier_uniform(rng, embed, hidden)
+            for relation in graph.relations
+        }
+        self_weights = {
+            vtype: xavier_uniform(rng, embed, hidden)
+            for vtype in graph.vertex_types
+        }
+        biases = {
+            vtype: np.zeros(hidden, dtype=np.float64)
+            for vtype in graph.vertex_types
+        }
+        return {
+            "w_in": self.init_input_projection(graph, rng),
+            "w_rel": weights,
+            "w_self": self_weights,
+            "bias": biases,
+        }
+
+    def feature_projection(
+        self,
+        semantic_graphs: list[SemanticGraph],
+        features: dict[str, np.ndarray],
+        params: dict,
+    ) -> dict[str, dict[str, np.ndarray | None]]:
+        projected: dict[str, dict[str, np.ndarray | None]] = {}
+        for sg in semantic_graphs:
+            key = str(sg.relation)
+            if key in projected:
+                continue  # subgraphs of one relation share the projection
+            x_src = features[sg.relation.src_type]
+            projected[key] = {
+                "src": linear(x_src, params["w_rel"][key]),
+                "dst": None,
+            }
+        return projected
+
+    def neighbor_aggregation(
+        self,
+        graph: SemanticGraph,
+        projected: dict[str, np.ndarray | None],
+        params: dict,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        h_src = projected["src"]
+        hidden = h_src.shape[1]
+        if graph.num_edges == 0:
+            return (
+                np.zeros((graph.num_dst, hidden), dtype=h_src.dtype),
+                np.zeros(graph.num_dst, dtype=h_src.dtype),
+            )
+        messages = h_src[graph.src]
+        numerator = segment_sum(messages, graph.dst, graph.num_dst)
+        denominator = np.bincount(
+            graph.dst, minlength=graph.num_dst
+        ).astype(h_src.dtype)
+        return numerator, denominator
+
+    def semantic_fusion(
+        self,
+        graph: HeteroGraph,
+        na_results: dict[str, np.ndarray],
+        features: dict[str, np.ndarray],
+        params: dict,
+    ) -> dict[str, np.ndarray]:
+        hidden = self.config.hidden_dim
+        fused = {
+            vtype: linear(features[vtype], params["w_self"][vtype])
+            + params["bias"][vtype]
+            for vtype in graph.vertex_types
+        }
+        for relation in graph.relations:
+            key = str(relation)
+            if key in na_results:
+                fused[relation.dst_type] = fused[relation.dst_type] + na_results[key]
+        return {vtype: relu(h) for vtype, h in fused.items()}
+
+    def na_flops_per_edge(self) -> int:
+        # One MAC per hidden element for the running sum, plus the
+        # degree increment.
+        return 2 * self.config.hidden_dim + 2
+
+    def sf_flops_per_vertex(self, num_relations: int) -> int:
+        # Relation-result adds + ReLU (self projection is FP work).
+        return (num_relations + 1) * self.config.hidden_dim

@@ -1,0 +1,197 @@
+"""Workload accounting: FLOPs and bytes per stage, per semantic graph.
+
+Performance models (GPU and accelerator) consume these numbers instead
+of re-deriving them: the *compute* side of a stage is fully determined
+by the model and graph, while the *memory* side additionally depends on
+the platform's buffering, which each platform simulates itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.hetero import HeteroGraph
+from repro.graph.semantic import SemanticGraph, build_semantic_graphs
+from repro.models.base import HGNNModel, ModelConfig
+from repro.models.rgcn import RGCN
+from repro.models.rgat import RGAT
+from repro.models.simple_hgn import SimpleHGN
+
+__all__ = [
+    "StageWork",
+    "SemanticGraphWork",
+    "WorkloadModel",
+    "MODEL_REGISTRY",
+    "get_model",
+]
+
+MODEL_REGISTRY: dict[str, type[HGNNModel]] = {
+    "rgcn": RGCN,
+    "rgat": RGAT,
+    "simple_hgn": SimpleHGN,
+}
+
+
+def get_model(name: str, config: ModelConfig | None = None) -> HGNNModel:
+    """Instantiate a registered model by name (case-insensitive)."""
+    key = name.lower().replace("-", "_")
+    try:
+        cls = MODEL_REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+    return cls(config)
+
+
+@dataclass(frozen=True)
+class StageWork:
+    """Work of one stage on one semantic graph.
+
+    Attributes:
+        flops: arithmetic operations.
+        input_bytes: compulsory input traffic (each distinct operand
+            once; platforms add thrashing re-fetches on top).
+        weight_bytes: parameter traffic.
+        output_bytes: result bytes produced.
+    """
+
+    flops: int
+    input_bytes: int
+    weight_bytes: int
+    output_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.input_bytes + self.weight_bytes + self.output_bytes
+
+
+@dataclass(frozen=True)
+class SemanticGraphWork:
+    """Per-stage work of one semantic graph plus its NA access profile."""
+
+    relation: str
+    num_active_src: int
+    num_active_dst: int
+    num_edges: int
+    fp: StageWork
+    na: StageWork
+    sf: StageWork
+    feature_vector_bytes: int
+
+    @property
+    def total_flops(self) -> int:
+        return self.fp.flops + self.na.flops + self.sf.flops
+
+    @property
+    def total_bytes(self) -> int:
+        return self.fp.total_bytes + self.na.total_bytes + self.sf.total_bytes
+
+
+class WorkloadModel:
+    """Derives :class:`SemanticGraphWork` for a model on a graph."""
+
+    def __init__(self, model: HGNNModel) -> None:
+        self.model = model
+
+    @property
+    def config(self) -> ModelConfig:
+        return self.model.config
+
+    def semantic_graph_work(
+        self, graph: SemanticGraph, num_relations_at_dst: int = 1
+    ) -> SemanticGraphWork:
+        """Work of the FP/NA/SF stages on one semantic graph.
+
+        Args:
+            graph: the semantic graph.
+            num_relations_at_dst: how many relations target this
+                graph's destination type (scales per-vertex SF cost
+                attribution; the hetero-level driver passes the real
+                count, standalone callers can leave 1).
+        """
+        cfg = self.config
+        fb = cfg.feature_bytes
+        fvb = cfg.feature_vector_bytes
+        active_src = len(graph.active_src())
+        active_dst = len(graph.active_dst())
+        embed = cfg.embed_dim
+
+        # Per-relation FP operates on embedded (embed_dim) features;
+        # the raw -> embed projection is accounted once per type by
+        # :meth:`input_projection_work`.
+        fp_flops = active_src * self.model.fp_flops_per_vertex(embed)
+        fp_input = active_src * embed * fb
+        fp_weights = embed * cfg.hidden_dim * fb
+        fp_output = active_src * fvb
+        if self.model.projects_destinations:
+            fp_flops += active_dst * self.model.fp_flops_per_vertex(embed)
+            fp_input += active_dst * embed * fb
+            fp_weights += embed * cfg.hidden_dim * fb
+            fp_output += active_dst * fvb
+        fp = StageWork(fp_flops, fp_input, fp_weights, fp_output)
+
+        na = StageWork(
+            flops=graph.num_edges * self.model.na_flops_per_edge(),
+            # Compulsory: each active source feature once; platforms add
+            # re-fetches (thrashing) on top of this floor.
+            input_bytes=active_src * fvb,
+            weight_bytes=0,
+            output_bytes=active_dst * fvb,
+        )
+
+        sf = StageWork(
+            flops=active_dst
+            * self.model.sf_flops_per_vertex(num_relations_at_dst)
+            // max(num_relations_at_dst, 1),
+            input_bytes=active_dst * fvb,
+            weight_bytes=0,
+            output_bytes=active_dst * fvb,
+        )
+
+        return SemanticGraphWork(
+            relation=str(graph.relation),
+            num_active_src=active_src,
+            num_active_dst=active_dst,
+            num_edges=graph.num_edges,
+            fp=fp,
+            na=na,
+            sf=sf,
+            feature_vector_bytes=fvb,
+        )
+
+    def input_projection_work(self, graph: HeteroGraph) -> dict[str, StageWork]:
+        """Once-per-type raw -> embed projection work.
+
+        Featureless types synthesise ``embed_dim`` embeddings directly,
+        so their projection is an identity-cost table read.
+        """
+        cfg = self.config
+        fb = cfg.feature_bytes
+        work: dict[str, StageWork] = {}
+        for vtype in graph.vertex_types:
+            n = graph.num_vertices(vtype)
+            raw = graph.feature_dim(vtype) or cfg.embed_dim
+            work[vtype] = StageWork(
+                flops=n * self.model.input_proj_flops_per_vertex(raw),
+                input_bytes=n * raw * fb,
+                weight_bytes=raw * cfg.embed_dim * fb,
+                output_bytes=n * cfg.embed_dim * fb,
+            )
+        return work
+
+    def hetero_work(
+        self, graph: HeteroGraph, semantic_graphs: list[SemanticGraph] | None = None
+    ) -> list[SemanticGraphWork]:
+        """Work items for every semantic graph of ``graph``."""
+        if semantic_graphs is None:
+            semantic_graphs = build_semantic_graphs(graph)
+        relations_at_dst: dict[str, int] = {}
+        for sg in semantic_graphs:
+            dst_type = sg.relation.dst_type
+            relations_at_dst[dst_type] = relations_at_dst.get(dst_type, 0) + 1
+        return [
+            self.semantic_graph_work(
+                sg, num_relations_at_dst=relations_at_dst[sg.relation.dst_type]
+            )
+            for sg in semantic_graphs
+        ]

@@ -1,0 +1,55 @@
+"""Graph restructuring: decoupling and recoupling (the paper's core).
+
+The method runs in two stages (Fig. 3 of the paper):
+
+1. **Graph decoupling** (:func:`decouple`) finds a maximum matching of
+   the bipartite semantic graph -- a largest set of edges sharing no
+   vertices -- whose matched vertices are the *backbone candidates*.
+2. **Graph recoupling** (:func:`recouple`) selects the *graph backbone*
+   (a vertex cover: every edge touches it) from the candidates and
+   splits the semantic graph into three subgraphs, each with a strong
+   community structure centred on backbone vertices.
+
+Processing each subgraph keeps a small, reused working set of features
+resident on chip, eliminating most buffer thrashing.
+"""
+
+from repro.restructure.matching import (
+    MatchingResult,
+    MatchingCounters,
+    maximum_matching,
+    maximum_matching_fifo,
+)
+from repro.restructure.hopcroft_karp import hopcroft_karp
+from repro.restructure.backbone import (
+    BackbonePartition,
+    select_backbone,
+    select_backbone_konig,
+    select_backbone_paper,
+)
+from repro.restructure.recouple import RestructureResult, recouple
+from repro.restructure.restructure import GraphRestructurer, decouple
+from repro.restructure.islandization import (
+    Island,
+    islandize,
+    degree_sort_schedule,
+)
+
+__all__ = [
+    "MatchingResult",
+    "MatchingCounters",
+    "maximum_matching",
+    "maximum_matching_fifo",
+    "hopcroft_karp",
+    "BackbonePartition",
+    "select_backbone",
+    "select_backbone_konig",
+    "select_backbone_paper",
+    "RestructureResult",
+    "recouple",
+    "GraphRestructurer",
+    "decouple",
+    "Island",
+    "islandize",
+    "degree_sort_schedule",
+]

@@ -1,0 +1,73 @@
+"""Tests for the systolic array and SIMD timing models."""
+
+import pytest
+
+from repro.accelerator.simd import SIMDUnit
+from repro.accelerator.systolic import SystolicArray
+
+
+class TestSystolic:
+    def test_zero_problem_free(self):
+        arr = SystolicArray(8, 8)
+        assert arr.gemm_cycles(0, 10, 10) == 0
+        assert arr.gemm_cycles(10, 0, 10) == 0
+
+    def test_single_tile(self):
+        arr = SystolicArray(8, 8)
+        assert arr.gemm_cycles(8, 100, 8) == 100 + 16
+
+    def test_tiling(self):
+        arr = SystolicArray(8, 8)
+        one = arr.gemm_cycles(8, 50, 8)
+        four = arr.gemm_cycles(16, 50, 16)
+        assert four == 4 * (one - 16) + 16
+
+    def test_partial_tiles_round_up(self):
+        arr = SystolicArray(8, 8)
+        assert arr.gemm_cycles(9, 10, 8) == arr.gemm_cycles(16, 10, 8)
+
+    def test_utilization_bounds(self):
+        arr = SystolicArray(16, 16)
+        u = arr.gemm_utilization(64, 512, 64)
+        assert 0.0 < u <= 1.0
+        assert arr.gemm_utilization(0, 1, 1) == 0.0
+
+    def test_large_k_utilization_near_one(self):
+        arr = SystolicArray(16, 16)
+        assert arr.gemm_utilization(16, 100000, 16) > 0.99
+
+    def test_gemv(self):
+        arr = SystolicArray(8, 8)
+        assert arr.gemv_cycles(100, 8) == arr.gemm_cycles(1, 100, 8)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0, 8)
+        with pytest.raises(ValueError):
+            SystolicArray(8, 8).gemm_cycles(-1, 1, 1)
+
+    def test_macs_per_cycle(self):
+        assert SystolicArray(128, 16).macs_per_cycle == 2048
+
+
+class TestSIMD:
+    def test_elementwise_ceil(self):
+        simd = SIMDUnit(64)
+        assert simd.elementwise_cycles(64) == 1
+        assert simd.elementwise_cycles(65) == 2
+        assert simd.elementwise_cycles(0) == 0
+
+    def test_transcendental_multiplier(self):
+        simd = SIMDUnit(64, transcendental_cost=3)
+        assert simd.transcendental_cycles(64) == 3
+
+    def test_reduction(self):
+        simd = SIMDUnit(32)
+        assert simd.reduction_cycles(0) == 0
+        assert simd.reduction_cycles(32, vectors=2) == 2 * (1 + 5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SIMDUnit(0)
+        with pytest.raises(ValueError):
+            SIMDUnit(8).elementwise_cycles(-1)

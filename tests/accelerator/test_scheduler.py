@@ -1,0 +1,98 @@
+"""Tests for similarity scheduling and lane assignment."""
+
+import pytest
+
+from repro.accelerator.scheduler import (
+    assign_lanes,
+    semantic_similarity,
+    similarity_schedule,
+)
+from repro.graph.hetero import Relation
+from repro.graph.semantic import build_semantic_graphs
+
+
+class TestSimilarity:
+    def test_different_src_types_zero(self, make_semantic):
+        a = make_semantic(4, 4, [(0, 0)], relation=Relation("x", "r1", "y"))
+        b = make_semantic(4, 4, [(0, 0)], relation=Relation("z", "r2", "y"))
+        assert semantic_similarity(a, b) == 0.0
+
+    def test_identical_graphs_one(self, make_semantic):
+        rel = Relation("x", "r", "y")
+        a = make_semantic(4, 4, [(0, 0), (1, 1)], relation=rel)
+        assert semantic_similarity(a, a) == 1.0
+
+    def test_partial_overlap(self, make_semantic):
+        rel1 = Relation("x", "r1", "y")
+        rel2 = Relation("x", "r2", "z")
+        a = make_semantic(4, 4, [(0, 0), (1, 1)], relation=rel1)
+        b = make_semantic(4, 4, [(1, 0), (2, 1)], relation=rel2)
+        # active src: {0,1} vs {1,2} -> Jaccard 1/3
+        assert semantic_similarity(a, b) == pytest.approx(1 / 3)
+
+    def test_empty_graph_zero(self, make_semantic):
+        rel = Relation("x", "r", "y")
+        a = make_semantic(4, 4, [], relation=rel)
+        b = make_semantic(4, 4, [(0, 0)], relation=rel)
+        assert semantic_similarity(a, b) == 0.0
+
+
+class TestSchedule:
+    def test_is_permutation(self, tiny_imdb):
+        sgs = build_semantic_graphs(tiny_imdb)
+        order = similarity_schedule(sgs)
+        assert sorted(order) == list(range(len(sgs)))
+
+    def test_starts_with_largest(self, tiny_imdb):
+        sgs = build_semantic_graphs(tiny_imdb)
+        order = similarity_schedule(sgs)
+        largest = max(range(len(sgs)), key=lambda i: sgs[i].num_edges)
+        assert order[0] == largest
+
+    def test_groups_same_src_type(self, make_semantic):
+        rels = [
+            Relation("x", "r1", "y"),
+            Relation("z", "q1", "y"),
+            Relation("x", "r2", "w"),
+            Relation("z", "q2", "w"),
+        ]
+        graphs = [
+            make_semantic(4, 4, [(0, 0), (1, 1), (2, 2)], relation=rels[0]),
+            make_semantic(4, 4, [(0, 1)], relation=rels[1]),
+            make_semantic(4, 4, [(0, 0), (1, 2)], relation=rels[2]),
+            make_semantic(4, 4, [(0, 2)], relation=rels[3]),
+        ]
+        order = similarity_schedule(graphs)
+        src_types = [graphs[i].relation.src_type for i in order]
+        # same-source-type graphs must be adjacent
+        assert src_types in (["x", "x", "z", "z"], ["z", "z", "x", "x"])
+
+    def test_single_graph(self, make_semantic):
+        assert similarity_schedule([make_semantic(2, 2, [(0, 0)])]) == [0]
+
+    def test_empty_list(self):
+        assert similarity_schedule([]) == []
+
+
+class TestLaneAssignment:
+    def test_balances_load(self):
+        lane_of, makespan = assign_lanes([10, 10, 10, 10], 2)
+        assert makespan == 20
+        assert sorted(lane_of) == [0, 0, 1, 1]
+
+    def test_single_lane_sum(self):
+        _, makespan = assign_lanes([3, 5, 7], 1)
+        assert makespan == 15
+
+    def test_more_lanes_than_work(self):
+        lane_of, makespan = assign_lanes([8, 2], 4)
+        assert makespan == 8
+        assert len(set(lane_of)) == 2
+
+    def test_empty(self):
+        lane_of, makespan = assign_lanes([], 4)
+        assert lane_of == [] and makespan == 0
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            assign_lanes([1], 0)

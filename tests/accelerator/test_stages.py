@@ -1,0 +1,159 @@
+"""Tests for the stage engines."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.config import HiHGNNConfig
+from repro.accelerator.stages import (
+    FPStageEngine,
+    InputProjectionEngine,
+    NAStageEngine,
+    SFStageEngine,
+    StageReport,
+    gather_in_neighbors,
+)
+from repro.memory.buffer import FeatureBuffer
+from repro.memory.dram import HBMModel
+from repro.models.base import ModelConfig
+from repro.models.workload import get_model
+
+SMALL = ModelConfig(hidden_dim=16, num_heads=4, embed_dim=8)
+
+
+@pytest.fixture
+def setup():
+    config = HiHGNNConfig()
+    model = get_model("rgat", SMALL)
+    hbm = HBMModel(config.hbm)
+    return config, model, hbm
+
+
+class TestGather:
+    def test_matches_naive(self, make_semantic):
+        sg = make_semantic(6, 6, num_edges=15, seed=1)
+        schedule = sg.active_dst()
+        expected = np.concatenate(
+            [sg.csc.neighbors(int(v)) for v in schedule]
+        )
+        got = gather_in_neighbors(sg.csc, schedule)
+        assert got.tolist() == expected.tolist()
+
+    def test_respects_schedule_order(self, make_semantic):
+        sg = make_semantic(4, 3, [(0, 0), (1, 1), (2, 2)])
+        got = gather_in_neighbors(sg.csc, np.array([2, 0, 1]))
+        assert got.tolist() == [2, 0, 1]
+
+    def test_empty_schedule(self, make_semantic):
+        sg = make_semantic(3, 3, [(0, 0)])
+        assert len(gather_in_neighbors(sg.csc, np.array([], dtype=np.int64))) == 0
+
+    def test_trace_length_equals_edges(self, make_semantic):
+        sg = make_semantic(10, 10, num_edges=30, seed=2)
+        trace = gather_in_neighbors(sg.csc, sg.active_dst())
+        assert len(trace) == sg.num_edges
+
+
+class TestStageReport:
+    def test_elapsed_is_max(self):
+        report = StageReport("x", compute_cycles=10, memory_cycles=25)
+        assert report.elapsed_cycles == 25
+
+    def test_merge_accumulates(self):
+        a = StageReport("x", compute_cycles=5, dram_bytes_read=10)
+        b = StageReport("x", compute_cycles=7, buffer_misses=3)
+        a.merge(b)
+        assert a.compute_cycles == 12
+        assert a.dram_bytes_read == 10
+        assert a.buffer_misses == 3
+
+
+class TestNAEngine:
+    def test_misses_become_dram_reads(self, setup, make_semantic):
+        config, model, hbm = setup
+        buffer = FeatureBuffer(4 * SMALL.feature_vector_bytes,
+                               SMALL.feature_vector_bytes)
+        engine = NAStageEngine(config, model, hbm, buffer)
+        sg = make_semantic(20, 10, num_edges=50, seed=1)
+        report = engine.run(sg)
+        assert report.buffer_misses > 0
+        assert report.dram_bytes_read >= (
+            report.buffer_misses * SMALL.feature_vector_bytes
+        )
+        assert report.compute_cycles > 0
+
+    def test_empty_graph_free(self, setup, make_semantic):
+        config, model, hbm = setup
+        buffer = FeatureBuffer(1024, SMALL.feature_vector_bytes)
+        engine = NAStageEngine(config, model, hbm, buffer)
+        report = engine.run(make_semantic(4, 4, []))
+        assert report.elapsed_cycles == 0
+
+    def test_schedule_changes_locality(self, setup, make_semantic):
+        """A bad schedule (interleaving far-apart dsts) must not report
+        fewer misses than a community schedule on a structured graph."""
+        config, model, hbm = setup
+        # two cliques: dsts 0-4 share srcs 0-4; dsts 5-9 share srcs 5-9
+        edges = [(s, d) for d in range(5) for s in range(5)]
+        edges += [(s + 5, d + 5) for d in range(5) for s in range(5)]
+        sg = make_semantic(10, 10, edges)
+        cap = 5 * SMALL.feature_vector_bytes
+
+        grouped = NAStageEngine(config, model, hbm,
+                                FeatureBuffer(cap, SMALL.feature_vector_bytes))
+        r1 = grouped.run(sg, schedule=np.arange(10))
+        interleaved = NAStageEngine(config, model, hbm,
+                                    FeatureBuffer(cap, SMALL.feature_vector_bytes))
+        bad = np.array([0, 5, 1, 6, 2, 7, 3, 8, 4, 9])
+        r2 = interleaved.run(sg, schedule=bad)
+        assert r1.buffer_misses <= r2.buffer_misses
+
+
+class TestFPEngine:
+    def test_reuse_discount_with_shared_previous(self, setup, make_semantic):
+        config, model, hbm = setup
+        from repro.graph.hetero import Relation
+
+        rel1 = Relation("x", "r1", "y")
+        rel2 = Relation("x", "r2", "z")
+        a = make_semantic(50, 20, num_edges=100, seed=1, relation=rel1)
+        b = make_semantic(50, 20, num_edges=100, seed=1, relation=rel2)
+        engine = FPStageEngine(config, model, hbm)
+        cold = engine.run(b, previous=None)
+        warm = engine.run(b, previous=a)
+        assert warm.dram_bytes_read <= cold.dram_bytes_read
+
+    def test_different_src_type_no_discount(self, setup, make_semantic):
+        config, model, hbm = setup
+        from repro.graph.hetero import Relation
+
+        a = make_semantic(30, 20, num_edges=60, seed=2,
+                          relation=Relation("p", "r1", "y"))
+        b = make_semantic(30, 20, num_edges=60, seed=2,
+                          relation=Relation("q", "r2", "y"))
+        engine = FPStageEngine(config, model, hbm)
+        assert (
+            engine.run(b, previous=a).dram_bytes_read
+            == engine.run(b, previous=None).dram_bytes_read
+        )
+
+
+class TestIPAndSF:
+    def test_ip_cost_scales_with_raw_dim(self, setup):
+        config, model, hbm = setup
+        engine = InputProjectionEngine(config, model, hbm)
+        small = engine.run(100, 16, 0)
+        large = engine.run(100, 160, 0)
+        assert large.compute_cycles > small.compute_cycles
+        assert large.dram_bytes_read > small.dram_bytes_read
+
+    def test_ip_empty_type_free(self, setup):
+        config, model, hbm = setup
+        engine = InputProjectionEngine(config, model, hbm)
+        assert engine.run(0, 64, 0).elapsed_cycles == 0
+
+    def test_sf_scales_with_destinations(self, setup, make_semantic):
+        config, model, hbm = setup
+        engine = SFStageEngine(config, model, hbm)
+        small = engine.run(make_semantic(5, 50, num_edges=20, seed=1))
+        large = engine.run(make_semantic(5, 50, num_edges=140, seed=1))
+        assert large.dram_bytes_read >= small.dram_bytes_read

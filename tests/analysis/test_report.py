@@ -1,0 +1,58 @@
+"""Tests for report rendering."""
+
+from repro.analysis.report import ascii_table, format_ratio, render_histogram
+
+
+class TestAsciiTable:
+    def test_basic_render(self):
+        out = ascii_table(["a", "b"], [[1, "x"], [2, "y"]])
+        assert "| a" in out
+        assert "| 1" in out
+        assert out.count("+") >= 4
+
+    def test_title(self):
+        out = ascii_table(["a"], [[1]], title="Table 1")
+        assert out.startswith("Table 1")
+
+    def test_float_formatting(self):
+        out = ascii_table(["v"], [[3.14159]], float_fmt="{:.2f}")
+        assert "3.14" in out
+        assert "3.1415" not in out
+
+    def test_empty_rows(self):
+        out = ascii_table(["col"], [])
+        assert "col" in out
+
+    def test_column_alignment(self):
+        out = ascii_table(["name", "v"], [["long-name-here", 1]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines if line}
+        assert len(widths) == 1  # all lines equal width
+
+
+class TestFormatRatio:
+    def test_multiplier(self):
+        assert format_ratio(12.345) == "12.35x"
+
+    def test_percent(self):
+        assert format_ratio(0.456, percent=True) == "45.6%"
+
+
+class TestRenderHistogram:
+    def test_bars_scale(self):
+        hist = {
+            1: {"vertex_ratio": 50.0, "access_ratio": 10.0},
+            2: {"vertex_ratio": 25.0, "access_ratio": 5.0},
+        }
+        out = render_histogram(hist, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert "empty" in render_histogram({})
+
+    def test_series_selection(self):
+        hist = {1: {"vertex_ratio": 0.0, "access_ratio": 100.0}}
+        out = render_histogram(hist, series="access_ratio")
+        assert "#" in out

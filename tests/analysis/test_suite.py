@@ -1,0 +1,104 @@
+"""Integration tests for the evaluation suite (reduced scale)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    PLATFORMS,
+    EvaluationConfig,
+    EvaluationSuite,
+    geomean,
+)
+from repro.models.base import ModelConfig
+
+FAST = EvaluationConfig(
+    datasets=("acm", "imdb"),
+    models=("rgcn",),
+    seed=3,
+    scale=0.08,
+    model_config=ModelConfig(hidden_dim=32, num_heads=4, embed_dim=8),
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    s = EvaluationSuite(FAST)
+    s.run_grid()
+    return s
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestSuite:
+    def test_results_cached(self, suite):
+        a = suite.run("t4", "rgcn", "acm")
+        b = suite.run("t4", "rgcn", "acm")
+        assert a is b
+
+    def test_unknown_platform(self, suite):
+        with pytest.raises(ValueError, match="unknown platform"):
+            suite.run("h100", "rgcn", "acm")
+
+    def test_figure7_structure(self, suite):
+        f7 = suite.figure7()
+        assert "GEOMEAN" in f7
+        for platform in PLATFORMS:
+            assert f7["GEOMEAN"]["all"][platform] > 0
+        assert f7["GEOMEAN"]["all"]["t4"] == pytest.approx(1.0)
+
+    def test_figure7_ordering(self, suite):
+        """Expected platform ordering: T4 slowest, GDR system fastest."""
+        g = suite.figure7()["GEOMEAN"]["all"]
+        assert g["a100"] > g["t4"]
+        assert g["hihgnn"] > g["a100"]
+        assert g["hihgnn+gdr"] >= g["hihgnn"] * 0.95
+
+    def test_figure8_accelerators_access_less(self, suite):
+        g = suite.figure8()["GEOMEAN"]["all"]
+        assert g["t4"] == pytest.approx(1.0)
+        assert g["hihgnn"] < g["t4"]
+        assert g["hihgnn+gdr"] <= g["hihgnn"] * 1.05
+
+    def test_figure9_accelerators_better_utilization(self, suite):
+        g = suite.figure9()["GEOMEAN"]["all"]
+        assert g["hihgnn"] > g["t4"]
+        assert g["hihgnn+gdr"] > g["a100"]
+
+    def test_figure2_profiles(self, suite):
+        profiles = suite.figure2()
+        assert set(profiles) == set(FAST.datasets)
+        for profile in profiles.values():
+            assert 0.0 <= profile.na_hit_ratio <= 1.0
+            assert profile.redundant_accesses >= 0
+
+    def test_section3_l2(self, suite):
+        ratios = suite.section3_l2()
+        for dataset, ratio in ratios.items():
+            assert 0.0 <= ratio <= 1.0
+
+    def test_table2_rows(self, suite):
+        rows = suite.table2()
+        assert len(rows) == 8  # two datasets x four types
+        for row in rows:
+            assert row["vertices"] > 0
+
+    def test_table3_structure(self, suite):
+        table = suite.table3()
+        assert table["hihgnn"]["peak_tflops"] == pytest.approx(16.38)
+        assert table["gdr-hgnn"]["fifo_kb"] == pytest.approx(8.0)
+
+    def test_figure10(self, suite):
+        shares = suite.figure10()
+        assert 0 < shares["gdr_area_share"] < 0.1
+
+    def test_dataset_profile(self, suite):
+        profile = suite.dataset_profile("acm")
+        assert all("num_edges" in stats for stats in profile.values())

@@ -1,0 +1,51 @@
+"""Tests for the design-space sweep utilities."""
+
+import pytest
+
+from repro.accelerator.config import HiHGNNConfig
+from repro.analysis.sweeps import buffer_sensitivity
+from repro.graph.datasets import load_dataset
+from repro.models.base import ModelConfig
+
+SMALL = ModelConfig(hidden_dim=32, num_heads=4, embed_dim=8)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    graph = load_dataset("dblp", seed=5, scale=0.08)
+    return buffer_sensitivity(
+        graph,
+        "rgcn",
+        buffer_mbs=(0.05, 0.2, 1.0),
+        model_config=SMALL,
+    )
+
+
+class TestBufferSweep:
+    def test_one_point_per_capacity(self, sweep):
+        assert [p.na_buffer_mb for p in sweep] == [0.05, 0.2, 1.0]
+
+    def test_hit_ratio_monotone_in_capacity(self, sweep):
+        hits = [p.base_na_hit for p in sweep]
+        assert hits == sorted(hits)
+
+    def test_gdr_always_at_least_as_good(self, sweep):
+        for point in sweep:
+            assert point.gdr_na_hit >= point.base_na_hit - 1e-9
+            assert point.access_ratio <= 1.02
+
+    def test_gdr_benefit_strongest_when_starved(self, sweep):
+        assert sweep[0].access_ratio <= sweep[-1].access_ratio + 0.02
+
+    def test_speedup_positive(self, sweep):
+        for point in sweep:
+            assert point.speedup > 0
+
+    def test_respects_template_config(self):
+        graph = load_dataset("acm", seed=5, scale=0.05)
+        template = HiHGNNConfig(num_lanes=2)
+        points = buffer_sensitivity(
+            graph, "rgcn", buffer_mbs=(0.5,),
+            base_config=template, model_config=SMALL,
+        )
+        assert len(points) == 1

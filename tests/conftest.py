@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.graph.hetero import Relation
+from repro.graph.semantic import SemanticGraph
+
+
+def build_semantic(
+    num_src: int,
+    num_dst: int,
+    edges: list[tuple[int, int]] | None = None,
+    *,
+    num_edges: int | None = None,
+    seed: int = 0,
+    relation: Relation | None = None,
+) -> SemanticGraph:
+    """Construct a semantic graph from explicit or random edges."""
+    if edges is None:
+        rng = np.random.default_rng(seed)
+        if num_edges is None:
+            num_edges = min(num_src * num_dst, 3 * max(num_src, num_dst))
+        codes = rng.choice(num_src * num_dst, size=num_edges, replace=False)
+        src = (codes // num_dst).astype(np.int64)
+        dst = (codes % num_dst).astype(np.int64)
+    else:
+        src = np.array([e[0] for e in edges], dtype=np.int64)
+        dst = np.array([e[1] for e in edges], dtype=np.int64)
+    return SemanticGraph(
+        relation=relation or Relation("a", "r", "b"),
+        num_src=num_src,
+        num_dst=num_dst,
+        src=src,
+        dst=dst,
+    )
+
+
+@pytest.fixture
+def make_semantic():
+    """Factory fixture building semantic graphs for tests."""
+    return build_semantic
+
+
+@pytest.fixture(scope="session")
+def tiny_imdb():
+    """A 5%-scale IMDB graph (fast; still heterogeneous)."""
+    return load_dataset("imdb", seed=3, scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def small_acm():
+    """A 10%-scale ACM graph."""
+    return load_dataset("acm", seed=2, scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def small_dblp():
+    """A 10%-scale DBLP graph."""
+    return load_dataset("dblp", seed=4, scale=0.1)

@@ -1,0 +1,123 @@
+"""Tests for the area/power models and the Fig. 10 breakdown."""
+
+import pytest
+
+from repro.accelerator.config import HiHGNNConfig
+from repro.energy.area import (
+    fifo_area_mm2,
+    mac_array_area_mm2,
+    simd_area_mm2,
+    sram_area_mm2,
+)
+from repro.energy.breakdown import area_breakdown, figure10_shares
+from repro.energy.power import (
+    fifo_power_mw,
+    leakage_mw,
+    mac_array_power_mw,
+    simd_power_mw,
+    sram_power_mw,
+)
+from repro.energy.tech import TSMC12, scale_area, scale_energy
+from repro.frontend.config import GDRConfig
+
+MB = 1 << 20
+
+
+class TestArea:
+    def test_sram_monotone_in_capacity(self):
+        assert sram_area_mm2(2 * MB) > sram_area_mm2(1 * MB)
+
+    def test_sram_zero(self):
+        assert sram_area_mm2(0) == 0.0
+
+    def test_sram_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sram_area_mm2(-1)
+
+    def test_fifo_overhead_over_sram(self):
+        assert fifo_area_mm2(1024) > sram_area_mm2(1024)
+
+    def test_mac_array_linear(self):
+        assert mac_array_area_mm2(2000) == pytest.approx(
+            2 * mac_array_area_mm2(1000)
+        )
+
+    def test_simd_positive(self):
+        assert simd_area_mm2(256) > 0
+
+
+class TestPower:
+    def test_sram_power_scales_with_rate(self):
+        slow = sram_power_mw(1 * MB, 0.1)
+        fast = sram_power_mw(1 * MB, 1.0)
+        assert fast == pytest.approx(10 * slow)
+
+    def test_larger_sram_costs_more_per_access(self):
+        assert sram_power_mw(4 * MB, 1.0) > sram_power_mw(1 * MB, 1.0)
+
+    def test_mac_power_utilization(self):
+        assert mac_array_power_mw(1000, 1.0) > mac_array_power_mw(1000, 0.1)
+        with pytest.raises(ValueError):
+            mac_array_power_mw(1000, 1.5)
+
+    def test_fifo_power_overhead(self):
+        assert fifo_power_mw(1024, 1.0) > sram_power_mw(1024, 1.0)
+
+    def test_simd_power(self):
+        assert simd_power_mw(256, 0.5) > 0
+
+    def test_leakage_linear_in_area(self):
+        assert leakage_mw(2.0) == pytest.approx(2 * leakage_mw(1.0))
+
+
+class TestScaling:
+    def test_area_quadratic(self):
+        assert scale_area(4.0, 28, 14) == pytest.approx(1.0)
+
+    def test_energy_linear(self):
+        assert scale_energy(2.0, 28, 14) == pytest.approx(1.0)
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            scale_area(1.0, 0, 12)
+
+
+class TestFigure10:
+    def test_component_blocks(self):
+        components = area_breakdown()
+        blocks = {c.block for c in components}
+        assert blocks == {"hihgnn", "gdr"}
+        names = {c.component for c in components if c.block == "gdr"}
+        assert "fifos" in names and "adj list buffer" in names
+
+    def test_gdr_is_small_fraction(self):
+        """Fig. 10's headline: GDR-HGNN adds low-single-digit percent
+        area and sub-percent power."""
+        shares = figure10_shares()
+        assert 0.005 < shares["gdr_area_share"] < 0.06
+        assert 0.0005 < shares["gdr_power_share"] < 0.02
+        assert shares["gdr_area_mm2"] < 1.0  # paper: 0.50 mm^2
+        assert shares["gdr_power_mw"] < 120.0  # paper: 55.6 mW
+
+    def test_total_magnitudes_plausible(self):
+        shares = figure10_shares()
+        assert 10.0 < shares["total_area_mm2"] < 60.0
+        assert 5.0 < shares["total_power_w"] < 25.0
+
+    def test_gdr_dominated_by_buffers(self):
+        """Paper: 'the primary overhead originates from buffers'."""
+        shares = figure10_shares()
+        assert shares["gdr_buffer_area_share"] > 0.5
+
+    def test_custom_configs_respected(self):
+        big = figure10_shares(
+            HiHGNNConfig(),
+            GDRConfig(adj_buffer_bytes=4 * MB),
+        )
+        assert big["gdr_area_share"] > figure10_shares()["gdr_area_share"]
+
+    def test_power_includes_leakage(self):
+        components = area_breakdown()
+        for c in components:
+            if c.area_mm2 > 0:
+                assert c.power_mw > 0

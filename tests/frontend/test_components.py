@@ -1,0 +1,118 @@
+"""Tests for the frontend's hardware building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.bitmap import Bitmap
+from repro.frontend.config import GDRConfig
+from repro.frontend.hashtable import HashTable
+
+
+class TestConfig:
+    def test_table3_storage(self):
+        cfg = GDRConfig()
+        assert cfg.fifo_bytes == 8 * 1024
+        assert cfg.matching_buffer_bytes == 160 * 1024
+        assert cfg.candidate_buffer_bytes == 160 * 1024
+        assert cfg.adj_buffer_bytes == 320 * 1024
+        assert cfg.total_buffer_bytes == 648 * 1024
+
+    def test_entries(self):
+        cfg = GDRConfig()
+        assert cfg.fifo_entries == 2048
+        assert cfg.candidate_entries == 40960
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GDRConfig(clock_ghz=0)
+        with pytest.raises(ValueError):
+            GDRConfig(fifo_bytes=0)
+
+
+class TestHashTable:
+    def test_insert_lookup(self):
+        table = HashTable(num_sets=8, ways=2)
+        slot, conflicted = table.insert(42)
+        assert not conflicted
+        assert table.lookup(42) == slot
+
+    def test_miss_returns_none(self):
+        assert HashTable(4, 2).lookup(7) is None
+
+    def test_reinsert_keeps_slot(self):
+        table = HashTable(4, 2)
+        slot, _ = table.insert(9)
+        again, conflicted = table.insert(9)
+        assert again == slot and not conflicted
+
+    def test_conflict_evicts_oldest(self):
+        table = HashTable(num_sets=1, ways=2)
+        table.insert(0)
+        table.insert(1)
+        _, conflicted = table.insert(2)
+        assert conflicted
+        assert table.lookup(0) is None  # oldest displaced
+        assert table.stats.conflicts == 1
+
+    def test_remove(self):
+        table = HashTable(4, 2)
+        table.insert(5)
+        table.remove(5)
+        assert table.lookup(5) is None
+        table.remove(5)  # idempotent
+
+    def test_clear_keeps_stats(self):
+        table = HashTable(4, 2)
+        table.insert(1)
+        table.clear()
+        assert table.occupancy == 0
+        assert table.stats.inserts == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            HashTable(0, 2)
+
+    def test_occupancy_bounded(self):
+        table = HashTable(num_sets=4, ways=2)
+        for key in range(100):
+            table.insert(key)
+        assert table.occupancy <= 8
+
+
+class TestBitmap:
+    def test_set_and_test(self):
+        bm = Bitmap(16)
+        assert not bm.test(3)
+        bm.set(3)
+        assert bm.test(3)
+        bm.set(3, False)
+        assert not bm.test(3)
+
+    def test_vector_ops(self):
+        bm = Bitmap(10)
+        bm.set_many(np.array([1, 4, 7]))
+        assert bm.test_many(np.array([1, 2, 4])).tolist() == [True, False, True]
+        assert bm.count() == 3
+
+    def test_clear(self):
+        bm = Bitmap(8)
+        bm.set(0)
+        bm.clear()
+        assert bm.count() == 0
+        assert bm.stats.clears == 1
+
+    def test_access_stats(self):
+        bm = Bitmap(8)
+        bm.set(1)
+        bm.test(1)
+        bm.set_many(np.array([2, 3]))
+        assert bm.stats.writes == 3
+        assert bm.stats.reads == 1
+
+    def test_storage_bytes(self):
+        assert Bitmap(8).storage_bytes == 1
+        assert Bitmap(9).storage_bytes == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Bitmap(0)

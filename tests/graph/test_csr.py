@@ -1,0 +1,108 @@
+"""Unit tests for the CSR adjacency structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSR
+
+
+def _example() -> CSR:
+    # 0 -> {1, 2}, 1 -> {}, 2 -> {0}
+    return CSR.from_coo([0, 0, 2], [1, 2, 0], num_rows=3, num_cols=3)
+
+
+class TestConstruction:
+    def test_from_coo_basic(self):
+        csr = _example()
+        assert csr.num_rows == 3
+        assert csr.num_cols == 3
+        assert csr.num_edges == 3
+
+    def test_neighbors_sorted(self):
+        csr = CSR.from_coo([0, 0, 0], [5, 2, 9], num_rows=1, num_cols=10)
+        assert csr.neighbors(0).tolist() == [2, 5, 9]
+
+    def test_unsorted_option_preserves_per_row_order(self):
+        csr = CSR.from_coo(
+            [0, 0, 0], [5, 2, 9], num_rows=1, num_cols=10, sort_cols=False
+        )
+        assert csr.neighbors(0).tolist() == [5, 2, 9]
+
+    def test_empty_graph(self):
+        csr = CSR.from_coo([], [], num_rows=4, num_cols=4)
+        assert csr.num_edges == 0
+        assert csr.degrees().tolist() == [0, 0, 0, 0]
+
+    def test_row_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="row id out of range"):
+            CSR.from_coo([3], [0], num_rows=3, num_cols=3)
+
+    def test_col_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="col id out of range"):
+            CSR.from_coo([0], [3], num_rows=3, num_cols=3)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            CSR.from_coo([0, 1], [0], num_rows=3, num_cols=3)
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSR(
+                indptr=np.array([1, 2], dtype=np.int64),
+                indices=np.array([0], dtype=np.int64),
+                num_cols=1,
+            )
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSR(
+                indptr=np.array([0, 2, 1, 3], dtype=np.int64),
+                indices=np.array([0, 0, 0], dtype=np.int64),
+                num_cols=1,
+            )
+
+
+class TestQueries:
+    def test_degree_per_row(self):
+        csr = _example()
+        assert csr.degree(0) == 2
+        assert csr.degree(1) == 0
+        assert csr.degree(2) == 1
+
+    def test_degrees_vector(self):
+        assert _example().degrees().tolist() == [2, 0, 1]
+
+    def test_has_edge(self):
+        csr = _example()
+        assert csr.has_edge(0, 1)
+        assert csr.has_edge(0, 2)
+        assert not csr.has_edge(0, 0)
+        assert not csr.has_edge(1, 2)
+
+    def test_to_coo_roundtrip(self):
+        csr = _example()
+        rows, cols = csr.to_coo()
+        again = CSR.from_coo(rows, cols, csr.num_rows, csr.num_cols)
+        assert np.array_equal(again.indptr, csr.indptr)
+        assert np.array_equal(again.indices, csr.indices)
+
+
+class TestTranspose:
+    def test_transpose_swaps_edges(self):
+        csr = _example()
+        t = csr.transpose()
+        assert t.num_rows == 3
+        assert t.has_edge(1, 0)
+        assert t.has_edge(2, 0)
+        assert t.has_edge(0, 2)
+        assert t.num_edges == csr.num_edges
+
+    def test_double_transpose_identity(self):
+        csr = _example()
+        tt = csr.transpose().transpose()
+        assert np.array_equal(tt.indptr, csr.indptr)
+        assert np.array_equal(tt.indices, csr.indices)
+
+    def test_transpose_degrees_are_in_degrees(self):
+        csr = _example()
+        assert csr.transpose().degrees().tolist() == [1, 1, 1]

@@ -1,0 +1,98 @@
+"""Tests for the Table 2 dataset registry."""
+
+import pytest
+
+from repro.graph.datasets import DATASET_SPECS, load_dataset
+from repro.graph.semantic import build_semantic_graphs
+
+
+class TestSpecs:
+    def test_all_three_datasets_present(self):
+        assert set(DATASET_SPECS) == {"acm", "imdb", "dblp"}
+
+    def test_table2_vertex_counts(self):
+        imdb = DATASET_SPECS["imdb"]
+        assert imdb.num_vertices == {
+            "movie": 4932, "director": 2393, "actor": 6124, "keyword": 7971
+        }
+        acm = DATASET_SPECS["acm"]
+        assert acm.num_vertices == {
+            "paper": 3025, "author": 5959, "subject": 56, "term": 1902
+        }
+        dblp = DATASET_SPECS["dblp"]
+        assert dblp.num_vertices == {
+            "author": 4057, "paper": 14328, "term": 7723, "venue": 20
+        }
+
+    def test_table2_feature_dims(self):
+        assert DATASET_SPECS["imdb"].feature_dims["movie"] == 3489
+        assert DATASET_SPECS["acm"].feature_dims["paper"] == 1902
+        assert DATASET_SPECS["dblp"].feature_dims["paper"] == 4231
+        # Featureless types: keyword (IMDB), term (ACM), venue (DBLP).
+        assert DATASET_SPECS["imdb"].feature_dims["keyword"] == 0
+        assert DATASET_SPECS["acm"].feature_dims["term"] == 0
+        assert DATASET_SPECS["dblp"].feature_dims["venue"] == 0
+
+    def test_total_edges_counts_both_directions(self):
+        spec = DATASET_SPECS["dblp"]
+        assert spec.total_edges == 2 * sum(r.num_edges for r in spec.relations)
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", ["acm", "imdb", "dblp"])
+    def test_full_scale_matches_spec(self, name):
+        g = load_dataset(name, seed=0, scale=0.2)
+        spec = DATASET_SPECS[name]
+        for vtype, count in spec.num_vertices.items():
+            assert g.num_vertices(vtype) == max(2, round(count * 0.2))
+
+    def test_both_directions_generated(self, tiny_imdb):
+        names = {r.name for r in tiny_imdb.relations}
+        assert "performs" in names
+        assert "rev_performs" in names
+
+    def test_acm_reverse_citation_named_like_paper(self):
+        g = load_dataset("acm", seed=0, scale=0.05)
+        assert any(r.name == "-cites" for r in g.relations)
+
+    def test_reverse_shares_edge_set(self, tiny_imdb):
+        fwd = [r for r in tiny_imdb.relations if r.name == "performs"][0]
+        rev = [r for r in tiny_imdb.relations if r.name == "rev_performs"][0]
+        fs, fd = tiny_imdb.edges_of(fwd)
+        rs, rd = tiny_imdb.edges_of(rev)
+        assert set(zip(fs.tolist(), fd.tolist())) == set(zip(rd.tolist(), rs.tolist()))
+
+    def test_deterministic_per_seed(self):
+        a = load_dataset("acm", seed=5, scale=0.05)
+        b = load_dataset("acm", seed=5, scale=0.05)
+        for rel in a.relations:
+            sa, da = a.edges_of(rel)
+            sb, db = b.edges_of(rel)
+            assert sa.tolist() == sb.tolist() and da.tolist() == db.tolist()
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("acm", seed=1, scale=0.05)
+        b = load_dataset("acm", seed=2, scale=0.05)
+        rel = a.relations[0]
+        assert a.edges_of(rel)[0].tolist() != b.edges_of(rel)[0].tolist()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("ogbn-mag")
+
+    def test_case_insensitive(self):
+        g = load_dataset("ACM", seed=0, scale=0.05)
+        assert g.name.startswith("acm")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("acm", scale=0.0)
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("acm", scale=1.5)
+
+    def test_semantic_graphs_are_nonempty(self, small_dblp):
+        for sg in build_semantic_graphs(small_dblp):
+            assert sg.num_edges > 0
+
+    def test_name_records_scale(self):
+        assert load_dataset("imdb", scale=0.05).name == "imdb@0.05"

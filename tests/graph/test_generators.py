@@ -1,0 +1,143 @@
+"""Tests for the synthetic bipartite generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import (
+    chung_lu_bipartite,
+    community_bipartite,
+    configuration_bipartite,
+    power_law_weights,
+)
+
+
+class TestPowerLawWeights:
+    def test_normalized(self):
+        w = power_law_weights(100, 0.8)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_zero_exponent_uniform(self):
+        w = power_law_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_larger_exponent_more_skew(self):
+        mild = power_law_weights(100, 0.3)
+        steep = power_law_weights(100, 1.5)
+        assert steep.max() > mild.max()
+
+    def test_shuffle_changes_order_not_values(self):
+        rng = np.random.default_rng(0)
+        w = power_law_weights(50, 1.0, rng)
+        assert np.allclose(np.sort(w), np.sort(power_law_weights(50, 1.0)))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            power_law_weights(0, 0.5)
+        with pytest.raises(ValueError):
+            power_law_weights(5, -1.0)
+
+
+class TestChungLu:
+    def test_exact_edge_count(self):
+        src, dst = chung_lu_bipartite(50, 40, 300, seed=1)
+        assert len(src) == len(dst) == 300
+
+    def test_edges_distinct(self):
+        src, dst = chung_lu_bipartite(30, 30, 200, seed=2)
+        assert len({(s, d) for s, d in zip(src.tolist(), dst.tolist())}) == 200
+
+    def test_ids_in_range(self):
+        src, dst = chung_lu_bipartite(20, 10, 50, seed=3)
+        assert src.max() < 20 and src.min() >= 0
+        assert dst.max() < 10 and dst.min() >= 0
+
+    def test_deterministic(self):
+        a = chung_lu_bipartite(25, 25, 100, seed=7)
+        b = chung_lu_bipartite(25, 25, 100, seed=7)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_zero_edges(self):
+        src, dst = chung_lu_bipartite(5, 5, 0)
+        assert len(src) == 0
+
+    def test_full_density(self):
+        src, dst = chung_lu_bipartite(4, 4, 16, seed=0)
+        assert len(src) == 16
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError, match="cannot place"):
+            chung_lu_bipartite(3, 3, 10)
+
+    @given(
+        n_src=st.integers(2, 30),
+        n_dst=st.integers(2, 30),
+        frac=st.floats(0.05, 0.9),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_simple_graph(self, n_src, n_dst, frac, seed):
+        n_edges = max(1, int(n_src * n_dst * frac))
+        src, dst = chung_lu_bipartite(n_src, n_dst, n_edges, seed=seed)
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert len(pairs) == n_edges
+        assert all(0 <= s < n_src and 0 <= d < n_dst for s, d in pairs)
+
+
+class TestCommunity:
+    def test_exact_edge_count_and_range(self):
+        src, dst = community_bipartite(80, 60, 400, num_blocks=8, seed=1)
+        assert len(src) == 400
+        assert src.max() < 80 and dst.max() < 60
+
+    def test_deterministic(self):
+        a = community_bipartite(40, 40, 150, seed=9)
+        b = community_bipartite(40, 40, 150, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_community_structure_exists(self):
+        """Most edges stay within their planted block."""
+        rng_check = np.random.default_rng(5)
+        src, dst = community_bipartite(
+            200, 200, 1500, num_blocks=8, mixing=0.05, seed=5
+        )
+        # Recover blocks by re-deriving the generator's assignment.
+        rng = np.random.default_rng(5)
+        src_block = rng.permutation(np.arange(200, dtype=np.int64) % 8)
+        dst_block = rng.permutation(np.arange(200, dtype=np.int64) % 8)
+        same = (src_block[src] == dst_block[dst]).mean()
+        assert same > 0.7, f"only {same:.0%} of edges intra-block"
+        del rng_check
+
+    def test_mixing_one_is_unstructured(self):
+        src, dst = community_bipartite(50, 50, 300, mixing=1.0, seed=2)
+        assert len(src) == 300
+
+    def test_invalid_mixing_rejected(self):
+        with pytest.raises(ValueError, match="mixing"):
+            community_bipartite(10, 10, 5, mixing=1.5)
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ValueError, match="num_blocks"):
+            community_bipartite(10, 10, 5, num_blocks=0)
+
+    def test_blocks_capped_to_sides(self):
+        src, dst = community_bipartite(3, 50, 30, num_blocks=16, seed=1)
+        assert len(src) == 30
+
+
+class TestConfiguration:
+    def test_degree_totals_must_match(self):
+        with pytest.raises(ValueError, match="equal totals"):
+            configuration_bipartite(np.array([2, 2]), np.array([1]))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            configuration_bipartite(np.array([-1, 3]), np.array([1, 1]))
+
+    def test_degrees_bounded_by_request(self):
+        src_deg = np.array([3, 2, 1])
+        dst_deg = np.array([2, 2, 2])
+        src, dst = configuration_bipartite(src_deg, dst_deg, seed=0)
+        realized = np.bincount(src, minlength=3)
+        assert (realized <= src_deg).all()

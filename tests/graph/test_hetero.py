@@ -1,0 +1,130 @@
+"""Unit tests for heterogeneous graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.hetero import HeteroGraph, Relation
+
+
+def _example() -> HeteroGraph:
+    return HeteroGraph(
+        num_vertices={"author": 3, "paper": 4},
+        feature_dims={"author": 8, "paper": 16},
+        edges={
+            Relation("author", "writes", "paper"): (
+                np.array([0, 1, 2]),
+                np.array([0, 1, 3]),
+            )
+        },
+        name="toy",
+    )
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = _example()
+        assert g.num_vertices() == 7
+        assert g.num_vertices("author") == 3
+        assert g.num_edges() == 3
+
+    def test_is_heterogeneous(self):
+        assert _example().is_heterogeneous
+
+    def test_homogeneous_counterexample(self):
+        g = HeteroGraph(
+            num_vertices={"v": 3},
+            feature_dims={"v": 4},
+            edges={Relation("v", "e", "v"): (np.array([0]), np.array([1]))},
+        )
+        assert not g.is_heterogeneous
+
+    def test_unknown_src_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown source type"):
+            HeteroGraph(
+                num_vertices={"a": 2},
+                feature_dims={},
+                edges={Relation("x", "r", "a"): (np.array([0]), np.array([0]))},
+            )
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            HeteroGraph(
+                num_vertices={"a": 2, "b": 2},
+                feature_dims={},
+                edges={Relation("a", "r", "b"): (np.array([2]), np.array([0]))},
+            )
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            HeteroGraph(num_vertices={"a": -1}, feature_dims={}, edges={})
+
+    def test_feature_dim_for_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown vertex type"):
+            HeteroGraph(num_vertices={"a": 1}, feature_dims={"b": 3}, edges={})
+
+    def test_empty_types_rejected(self):
+        with pytest.raises(ValueError, match="at least one vertex type"):
+            HeteroGraph(num_vertices={}, feature_dims={}, edges={})
+
+
+class TestGlobalIds:
+    def test_offsets_follow_declaration_order(self):
+        g = _example()
+        assert g.type_offset("author") == 0
+        assert g.type_offset("paper") == 3
+
+    def test_global_ids_mapping(self):
+        g = _example()
+        assert g.global_ids("paper", np.array([0, 3])).tolist() == [3, 6]
+
+    def test_global_ids_range_checked(self):
+        g = _example()
+        with pytest.raises(ValueError, match="out of range"):
+            g.global_ids("author", np.array([3]))
+
+    def test_type_of_global_roundtrip(self):
+        g = _example()
+        for vtype in g.vertex_types:
+            for local in range(g.num_vertices(vtype)):
+                gid = int(g.global_ids(vtype, np.array([local]))[0])
+                assert g.type_of_global(gid) == (vtype, local)
+
+    def test_type_of_global_out_of_range(self):
+        with pytest.raises(ValueError):
+            _example().type_of_global(7)
+
+
+class TestDerived:
+    def test_adjacency_matches_edges(self):
+        g = _example()
+        rel = g.relations[0]
+        adj = g.adjacency(rel)
+        assert adj.has_edge(0, 0)
+        assert adj.has_edge(2, 3)
+        assert not adj.has_edge(0, 3)
+
+    def test_with_reverse_relations_doubles_edges(self):
+        g = _example().with_reverse_relations()
+        assert g.num_edge_types == 2
+        assert g.num_edges() == 6
+        rev = [r for r in g.relations if r.name == "rev_writes"][0]
+        src, dst = g.edges_of(rev)
+        assert src.tolist() == [0, 1, 3]
+        assert dst.tolist() == [0, 1, 2]
+
+    def test_with_reverse_is_idempotent(self):
+        g = _example().with_reverse_relations().with_reverse_relations()
+        assert g.num_edge_types == 2
+
+
+class TestRelation:
+    def test_str(self):
+        assert str(Relation("a", "writes", "p")) == "a-writes->p"
+
+    def test_reversed_default_name(self):
+        rel = Relation("a", "writes", "p").reversed()
+        assert rel == Relation("p", "rev_writes", "a")
+
+    def test_reversed_custom_name(self):
+        rel = Relation("p", "cites", "p").reversed("-cites")
+        assert rel.name == "-cites"

@@ -1,0 +1,88 @@
+"""Tests for graph statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.stats import degree_histogram, gini, graph_stats
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(50, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_near_one(self):
+        values = np.zeros(100)
+        values[0] = 10.0
+        assert gini(values) > 0.95
+
+    def test_empty_is_zero(self):
+        assert gini(np.array([])) == 0.0
+
+    def test_all_zero_is_zero(self):
+        assert gini(np.zeros(10)) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            gini(np.array([1.0, -2.0]))
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_bounded(self, values):
+        g = gini(np.array(values, dtype=float))
+        assert -1e-9 <= g <= 1.0
+
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_property_scale_invariant(self, values):
+        arr = np.array(values, dtype=float)
+        if arr.sum() == 0:
+            return
+        assert gini(arr) == pytest.approx(gini(arr * 3.5), abs=1e-9)
+
+
+class TestDegreeHistogram:
+    def test_basic(self):
+        hist = degree_histogram(np.array([1, 1, 2, 3, 3, 3]))
+        assert hist == {1: 2, 2: 1, 3: 3}
+
+    def test_empty(self):
+        assert degree_histogram(np.array([])) == {}
+
+    def test_cap_merges_tail(self):
+        degrees = np.arange(100)
+        hist = degree_histogram(degrees, max_bins=10)
+        assert len(hist) == 10
+        assert sum(hist.values()) == 100
+
+
+class TestGraphStats:
+    def test_counts(self, make_semantic):
+        sg = make_semantic(3, 4, [(0, 0), (0, 1), (1, 2)])
+        stats = graph_stats(sg)
+        assert stats.num_src == 3
+        assert stats.num_dst == 4
+        assert stats.num_edges == 3
+        assert stats.isolated_src == 1
+        assert stats.isolated_dst == 1
+
+    def test_density(self, make_semantic):
+        sg = make_semantic(2, 2, [(0, 0), (1, 1)])
+        assert graph_stats(sg).density == pytest.approx(0.5)
+
+    def test_degrees(self, make_semantic):
+        sg = make_semantic(2, 2, [(0, 0), (0, 1), (1, 1)])
+        stats = graph_stats(sg)
+        assert stats.max_src_degree == 2
+        assert stats.avg_dst_degree == pytest.approx(1.5)
+
+    def test_as_dict_keys(self, make_semantic):
+        sg = make_semantic(2, 2, [(0, 0)])
+        d = graph_stats(sg).as_dict()
+        assert {"num_src", "num_edges", "density"} <= set(d)
+
+    def test_empty_graph(self, make_semantic):
+        sg = make_semantic(3, 3, [])
+        stats = graph_stats(sg)
+        assert stats.avg_src_degree == 0.0
+        assert stats.density == 0.0

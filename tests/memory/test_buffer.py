@@ -1,0 +1,152 @@
+"""Tests for the vertex-feature buffer (NA buffer model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.buffer import FeatureBuffer
+
+
+def make_buffer(entries=4, entry_bytes=8) -> FeatureBuffer:
+    return FeatureBuffer(entries * entry_bytes, entry_bytes)
+
+
+class TestBasics:
+    def test_capacity_entries(self):
+        assert make_buffer(10, 64).capacity_entries == 10
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            FeatureBuffer(4, 8)
+
+    def test_invalid_entry_bytes(self):
+        with pytest.raises(ValueError):
+            FeatureBuffer(64, 0)
+
+    def test_miss_then_hit(self):
+        buf = make_buffer()
+        assert not buf.access(7)
+        assert buf.access(7)
+        assert buf.stats.hits == 1
+        assert buf.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        buf = make_buffer(entries=2)
+        buf.access(1)
+        buf.access(2)
+        buf.access(1)  # refresh 1
+        buf.access(3)  # evicts 2
+        assert buf.access(1)
+        assert not buf.access(2)
+
+    def test_bytes_from_dram(self):
+        buf = make_buffer(entries=4, entry_bytes=32)
+        buf.access(0)
+        buf.access(1)
+        buf.access(0)
+        assert buf.stats.bytes_from_dram == 64
+
+    def test_flush_keeps_stats_and_fetch_counts(self):
+        buf = make_buffer()
+        buf.access(5)
+        buf.flush()
+        assert buf.occupancy == 0
+        assert buf.stats.misses == 1
+        assert not buf.access(5)  # compulsory again
+        assert buf.fetch_counts()[5] == 2
+
+    def test_writeback_accounting(self):
+        buf = make_buffer()
+        buf.pin_writeback(100)
+        assert buf.stats.bytes_to_dram == 100
+        with pytest.raises(ValueError):
+            buf.pin_writeback(-1)
+
+
+class TestAccessMany:
+    def test_matches_scalar_path(self):
+        trace = np.array([1, 2, 3, 1, 2, 4, 1, 5, 6, 1], dtype=np.int64)
+        a = make_buffer(entries=3)
+        for v in trace:
+            a.access(int(v))
+        b = make_buffer(entries=3)
+        b.access_many(trace)
+        assert a.stats.hits == b.stats.hits
+        assert a.stats.misses == b.stats.misses
+        assert a.fetch_counts() == b.fetch_counts()
+
+    def test_collect_misses(self):
+        buf = make_buffer(entries=2)
+        trace = np.array([1, 2, 3, 1], dtype=np.int64)
+        misses, ids = buf.access_many(trace, collect_misses=True)
+        assert misses == 4  # 1,2,3 cold; 1 was evicted by 3
+        assert ids.tolist() == [1, 2, 3, 1]
+
+    def test_empty_trace(self):
+        buf = make_buffer()
+        assert buf.access_many(np.array([], dtype=np.int64)) == 0
+
+
+class TestReplacementHistogram:
+    def test_histogram_shape(self):
+        buf = make_buffer(entries=1)
+        for v in (0, 1, 0, 1, 0):
+            buf.access(v)
+        hist = buf.replacement_histogram(max_times=8)
+        assert set(hist) == set(range(1, 9))
+        # vertex 0 fetched 3x (2 replacements), vertex 1 fetched 2x (1)
+        assert hist[1]["vertex_ratio"] == pytest.approx(50.0)
+        assert hist[2]["vertex_ratio"] == pytest.approx(50.0)
+
+    def test_access_ratio_sums_to_replaced_share(self):
+        buf = make_buffer(entries=1)
+        for v in (0, 1, 0, 1):
+            buf.access(v)
+        hist = buf.replacement_histogram()
+        total_access_ratio = sum(b["access_ratio"] for b in hist.values())
+        assert total_access_ratio == pytest.approx(100.0)
+
+    def test_redundant_accesses(self):
+        buf = make_buffer(entries=1)
+        for v in (0, 1, 0, 1, 0):
+            buf.access(v)
+        assert buf.redundant_accesses() == 3
+
+    def test_no_thrashing_empty_histogram(self):
+        buf = make_buffer(entries=8)
+        for v in range(4):
+            buf.access(v)
+        hist = buf.replacement_histogram()
+        assert all(b["vertex_ratio"] == 0.0 for b in hist.values())
+
+    def test_overflow_bucket_merges(self):
+        buf = make_buffer(entries=1)
+        for _ in range(20):
+            buf.access(0)
+            buf.access(1)
+        hist = buf.replacement_histogram(max_times=8)
+        assert hist[8]["vertex_ratio"] > 0
+
+
+@given(
+    st.lists(st.integers(0, 20), min_size=1, max_size=400),
+    st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_miss_bounds(trace, entries):
+    """Misses are at least the unique count (cold) and at most the trace."""
+    buf = make_buffer(entries=entries)
+    misses = buf.access_many(np.array(trace, dtype=np.int64))
+    assert len(set(trace)) <= misses <= len(trace)
+    assert buf.stats.hits + buf.stats.misses == len(trace)
+    assert buf.occupancy <= entries
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_property_fits_entirely_no_redundancy(trace):
+    """With capacity >= universe, every vertex is fetched exactly once."""
+    buf = make_buffer(entries=6)
+    buf.access_many(np.array(trace, dtype=np.int64))
+    assert buf.redundant_accesses() == 0
+    assert buf.stats.misses == len(set(trace))

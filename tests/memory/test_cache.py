@@ -1,0 +1,112 @@
+"""Tests for the set-associative cache (GPU L2 model)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import CacheConfig, SetAssociativeCache
+
+
+def small_cache(ways=2, sets=4, line=64) -> SetAssociativeCache:
+    return SetAssociativeCache(
+        CacheConfig(size_bytes=ways * sets * line, line_bytes=line, ways=ways)
+    )
+
+
+class TestConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=1 << 20, line_bytes=128, ways=16)
+        assert cfg.num_sets == (1 << 20) // (128 * 16)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, line_bytes=64, ways=4)
+        with pytest.raises(ValueError, match="multiple"):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=4)
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access_line(0)
+        assert cache.access_line(0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_offset_hits(self):
+        cache = small_cache(line=64)
+        cache.access_line(0)
+        assert cache.access_line(63)
+
+    def test_lru_eviction(self):
+        cache = small_cache(ways=2, sets=1, line=64)
+        a, b, c = 0, 64, 128  # all map to the single set
+        cache.access_line(a)
+        cache.access_line(b)
+        cache.access_line(c)  # evicts a
+        assert not cache.contains(a)
+        assert cache.contains(b)
+        assert cache.contains(c)
+        assert cache.stats.evictions == 1
+
+    def test_lru_recency_update(self):
+        cache = small_cache(ways=2, sets=1, line=64)
+        cache.access_line(0)
+        cache.access_line(64)
+        cache.access_line(0)  # refresh 0
+        cache.access_line(128)  # evicts 64, not 0
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_multi_line_access_counts_misses(self):
+        cache = small_cache(ways=4, sets=4, line=64)
+        misses = cache.access(0, 256)  # 4 lines
+        assert misses == 4
+        assert cache.access(0, 256) == 0
+
+    def test_access_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            small_cache().access(0, 0)
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.access_line(0)
+        cache.flush()
+        assert not cache.contains(0)
+        assert cache.stats.misses == 1  # stats preserved
+
+    def test_bytes_from_dram(self):
+        cache = small_cache(line=64)
+        cache.access_line(0)
+        cache.access_line(64)
+        assert cache.stats.bytes_from_dram == 128
+
+    def test_hit_ratio(self):
+        cache = small_cache()
+        assert cache.stats.hit_ratio == 0.0
+        cache.access_line(0)
+        cache.access_line(0)
+        cache.access_line(0)
+        assert cache.stats.hit_ratio == pytest.approx(2 / 3)
+
+
+@given(st.lists(st.integers(0, 4095), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_property_occupancy_bounded(addresses):
+    cache = small_cache(ways=2, sets=4, line=64)
+    for addr in addresses:
+        cache.access_line(addr)
+    assert cache.occupancy_lines <= 8
+    assert cache.stats.accesses == len(addresses)
+
+
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_property_small_working_set_all_hits_after_warmup(addresses):
+    """A working set that fits has no capacity misses: every miss is cold."""
+    cache = small_cache(ways=4, sets=1, line=64)  # 4 lines capacity
+    lines = {a // 64 for a in addresses}
+    if len(lines) > 4:
+        return
+    for addr in addresses:
+        cache.access_line(addr)
+    assert cache.stats.misses == len(lines)

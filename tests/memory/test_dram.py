@@ -1,0 +1,128 @@
+"""Tests for the HBM DRAM model."""
+
+import numpy as np
+import pytest
+
+from repro.memory.dram import HBMConfig, HBMModel
+
+
+class TestConfig:
+    def test_peak_bandwidth_matches_table3(self):
+        cfg = HBMConfig()
+        # 512 GB/s at 1 GHz = 512 B per cycle.
+        assert cfg.peak_bytes_per_cycle == 512
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            HBMConfig(num_channels=0)
+
+
+class TestScalarAccess:
+    def test_row_miss_then_hit(self):
+        hbm = HBMModel()
+        first = hbm.access(0, 64)
+        second = hbm.access(0, 64)
+        assert first > second  # activate overhead only on first
+        assert hbm.stats.row_hits == 1
+        assert hbm.stats.row_misses == 1
+
+    def test_bytes_accounted(self):
+        hbm = HBMModel()
+        hbm.access(0, 100)
+        hbm.access(4096, 50, write=True)
+        assert hbm.stats.bytes_read == 100
+        assert hbm.stats.bytes_written == 50
+        assert hbm.stats.accesses == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            HBMModel().access(0, 0)
+
+    def test_channel_mapping_spreads(self):
+        cfg = HBMConfig()
+        hbm = HBMModel(cfg)
+        channels = set()
+        for i in range(cfg.num_channels):
+            channel, _, _ = hbm._map(i * cfg.access_granularity)
+            channels.add(channel)
+        assert len(channels) == cfg.num_channels
+
+
+class TestBulk:
+    def test_bulk_runs_at_peak(self):
+        hbm = HBMModel()
+        nbytes = 1 << 20
+        cycles = hbm.access_bulk(0, nbytes)
+        floor = nbytes // hbm.config.peak_bytes_per_cycle
+        assert cycles >= floor
+        assert cycles < floor * 1.2  # near peak
+
+    def test_bulk_zero_is_free(self):
+        assert HBMModel().access_bulk(0, 0) == 0
+
+    def test_bulk_row_accounting(self):
+        hbm = HBMModel()
+        super_row = hbm.config.row_bytes * hbm.config.num_channels
+        hbm.access_bulk(0, 2 * super_row)
+        assert hbm.stats.row_misses == 2
+
+    def test_service_cycles_charged_uniformly(self):
+        hbm = HBMModel()
+        hbm.access_bulk(0, 4096)
+        assert hbm.service_cycles == hbm.total_channel_cycles // hbm.config.num_channels
+
+
+class TestVectorAccess:
+    def test_scattered_features_mostly_miss_rows(self):
+        hbm = HBMModel()
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 1 << 30, size=500) * 2048
+        hbm.access_features(addresses, 2048)
+        assert hbm.stats.row_misses > hbm.stats.row_hits
+
+    def test_sequential_features_hit_rows(self):
+        hbm = HBMModel()
+        addresses = np.arange(64, dtype=np.int64) * 256  # dense stream
+        hbm.access_features(addresses, 256)
+        assert hbm.stats.row_hits > hbm.stats.row_misses
+
+    def test_counts(self):
+        hbm = HBMModel()
+        hbm.access_features(np.array([0, 4096, 8192]), 1024)
+        assert hbm.stats.reads == 3
+        assert hbm.stats.bytes_read == 3 * 1024
+
+    def test_empty_is_free(self):
+        assert HBMModel().access_features(np.array([], dtype=np.int64), 64) == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            HBMModel().access_features(np.array([0]), 0)
+
+
+class TestReporting:
+    def test_bandwidth_utilization_bounds(self):
+        hbm = HBMModel()
+        hbm.access_bulk(0, 1 << 16)
+        util = hbm.bandwidth_utilization(10**6)
+        assert 0.0 < util < 1.0
+        assert hbm.bandwidth_utilization(0) == 0.0
+
+    def test_energy_7pj_per_bit(self):
+        hbm = HBMModel()
+        hbm.access(0, 100)
+        assert hbm.energy_pj() == pytest.approx(100 * 8 * 7.0)
+
+    def test_reset_service_keeps_stats(self):
+        hbm = HBMModel()
+        hbm.access_bulk(0, 4096)
+        hbm.reset_service()
+        assert hbm.service_cycles == 0
+        assert hbm.stats.bytes_read == 4096
+
+    def test_row_hit_ratio(self):
+        hbm = HBMModel()
+        assert hbm.stats.row_hit_ratio == 0.0
+        hbm.access(0, 32)
+        hbm.access(0, 32)
+        assert hbm.stats.row_hit_ratio == pytest.approx(0.5)

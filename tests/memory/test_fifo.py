@@ -1,0 +1,75 @@
+"""Tests for the hardware FIFO model."""
+
+import pytest
+
+from repro.memory.fifo import HardwareFIFO
+
+
+class TestFIFO:
+    def test_fifo_order(self):
+        fifo = HardwareFIFO(4)
+        for x in (1, 2, 3):
+            fifo.push(x)
+        assert [fifo.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_overflow_raises_by_default(self):
+        fifo = HardwareFIFO(1)
+        fifo.push(0)
+        with pytest.raises(OverflowError):
+            fifo.push(1)
+        assert fifo.stats.stalls == 1
+
+    def test_stall_mode_rejects_without_raising(self):
+        fifo = HardwareFIFO(1, stall_on_full=True)
+        assert fifo.push(0)
+        assert not fifo.push(1)
+        assert fifo.stats.stalls == 1
+        assert len(fifo) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            HardwareFIFO(2).pop()
+
+    def test_peek(self):
+        fifo = HardwareFIFO(2)
+        fifo.push("a")
+        assert fifo.peek() == "a"
+        assert len(fifo) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            HardwareFIFO(2).peek()
+
+    def test_high_water_mark(self):
+        fifo = HardwareFIFO(8)
+        for x in range(5):
+            fifo.push(x)
+        fifo.pop()
+        fifo.push(9)
+        assert fifo.stats.high_water == 5
+
+    def test_drain(self):
+        fifo = HardwareFIFO(4)
+        for x in range(3):
+            fifo.push(x)
+        assert fifo.drain() == [0, 1, 2]
+        assert fifo.is_empty
+        assert fifo.stats.pops == 3
+
+    def test_clear_does_not_count_pops(self):
+        fifo = HardwareFIFO(4)
+        fifo.push(1)
+        fifo.clear()
+        assert fifo.stats.pops == 0
+        assert fifo.is_empty
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HardwareFIFO(0)
+
+    def test_full_flag(self):
+        fifo = HardwareFIFO(2)
+        fifo.push(1)
+        assert not fifo.is_full
+        fifo.push(2)
+        assert fifo.is_full

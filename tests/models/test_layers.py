@@ -1,0 +1,133 @@
+"""Tests for the shared neural layers and segment operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.layers import (
+    elu,
+    leaky_relu,
+    linear,
+    relu,
+    row_normalize_adjacency,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    xavier_uniform,
+)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert relu(x).tolist() == [0.0, 0.0, 2.0]
+
+    def test_leaky_relu(self):
+        x = np.array([-2.0, 3.0])
+        out = leaky_relu(x, 0.1)
+        assert out.tolist() == [-0.2, 3.0]
+
+    def test_elu_continuity(self):
+        assert elu(np.array([0.0]))[0] == 0.0
+        assert elu(np.array([-100.0]))[0] == pytest.approx(-1.0)
+
+
+class TestLinear:
+    def test_projection_shape(self):
+        x = np.ones((3, 4))
+        w = np.ones((4, 2))
+        assert linear(x, w).shape == (3, 2)
+
+    def test_bias(self):
+        x = np.zeros((2, 3))
+        w = np.zeros((3, 2))
+        out = linear(x, w, bias=np.array([1.0, 2.0]))
+        assert out.tolist() == [[1.0, 2.0], [1.0, 2.0]]
+
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform(rng, 100, 50)
+        bound = np.sqrt(6.0 / 150)
+        assert w.shape == (100, 50)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_invalid(self):
+        with pytest.raises(ValueError):
+            xavier_uniform(np.random.default_rng(0), 0, 5)
+
+
+class TestSegmentOps:
+    def test_segment_sum_basic(self):
+        values = np.array([[1.0], [2.0], [3.0]])
+        out = segment_sum(values, np.array([0, 0, 1]), 3)
+        assert out.tolist() == [[3.0], [3.0], [0.0]]
+
+    def test_segment_sum_1d(self):
+        out = segment_sum(np.array([1.0, 2.0, 4.0]), np.array([1, 1, 0]), 2)
+        assert out.tolist() == [4.0, 3.0]
+
+    def test_segment_sum_length_mismatch(self):
+        with pytest.raises(ValueError):
+            segment_sum(np.ones((2, 1)), np.array([0]), 2)
+
+    def test_segment_mean(self):
+        out = segment_mean(np.array([2.0, 4.0, 6.0]), np.array([0, 0, 1]), 2)
+        assert out.tolist() == [3.0, 6.0]
+
+    def test_segment_mean_empty_bucket_zero(self):
+        out = segment_mean(np.array([2.0]), np.array([1]), 3)
+        assert out.tolist() == [0.0, 2.0, 0.0]
+
+    def test_segment_max(self):
+        out = segment_max(np.array([1.0, 5.0, 3.0]), np.array([0, 0, 1]), 2)
+        assert out.tolist() == [5.0, 3.0]
+
+    def test_segment_softmax_sums_to_one(self):
+        scores = np.array([1.0, 2.0, 3.0, 4.0])
+        seg = np.array([0, 0, 1, 1])
+        out = segment_softmax(scores, seg, 2)
+        assert out[:2].sum() == pytest.approx(1.0)
+        assert out[2:].sum() == pytest.approx(1.0)
+
+    def test_segment_softmax_stability(self):
+        scores = np.array([1000.0, 1000.0])
+        out = segment_softmax(scores, np.array([0, 0]), 1)
+        assert np.isfinite(out).all()
+        assert out.tolist() == pytest.approx([0.5, 0.5])
+
+    @given(
+        st.lists(st.floats(-5, 5), min_size=1, max_size=60),
+        st.integers(1, 5),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_softmax_normalized(self, scores, num_segments, seed):
+        rng = np.random.default_rng(seed)
+        scores = np.array(scores)
+        seg = rng.integers(0, num_segments, size=len(scores))
+        out = segment_softmax(scores, seg, num_segments)
+        for s in range(num_segments):
+            mask = seg == s
+            if mask.any():
+                assert out[mask].sum() == pytest.approx(1.0)
+
+    @given(st.integers(1, 40), st.integers(1, 6), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_segment_sum_total_preserved(self, n, segs, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.standard_normal((n, 3))
+        seg = rng.integers(0, segs, size=n)
+        out = segment_sum(values, seg, segs)
+        assert out.sum() == pytest.approx(values.sum())
+
+
+class TestRowNormalize:
+    def test_coefficients_are_inverse_degree(self):
+        dst = np.array([0, 0, 1])
+        coeff = row_normalize_adjacency(dst, 2)
+        assert coeff.tolist() == [0.5, 0.5, 1.0]
+
+    def test_isolated_vertices_safe(self):
+        coeff = row_normalize_adjacency(np.array([2]), 4)
+        assert coeff.tolist() == [1.0]

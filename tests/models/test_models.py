@@ -1,0 +1,204 @@
+"""Functional tests for RGCN, RGAT and Simple-HGN."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import ModelConfig, make_features
+from repro.models.workload import MODEL_REGISTRY, get_model
+
+SMALL = ModelConfig(hidden_dim=16, num_heads=4, embed_dim=8)
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    pass
+
+
+def _run(model_name, graph, seed=0):
+    model = get_model(model_name, SMALL)
+    features = make_features(graph, SMALL, seed=seed)
+    params = model.init_params(graph, seed=seed + 1)
+    return model, features, params, model.forward(graph, features, params)
+
+
+class TestRegistry:
+    def test_three_models_registered(self):
+        assert set(MODEL_REGISTRY) == {"rgcn", "rgat", "simple_hgn"}
+
+    def test_get_model_aliases(self):
+        assert get_model("Simple-HGN").name == "simple_hgn"
+        assert get_model("RGCN").name == "rgcn"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("han")
+
+
+class TestConfig:
+    def test_head_dim(self):
+        assert ModelConfig(hidden_dim=512, num_heads=8).head_dim == 64
+
+    def test_feature_vector_bytes(self):
+        assert ModelConfig(hidden_dim=512).feature_vector_bytes == 2048
+
+    def test_heads_must_divide(self):
+        with pytest.raises(ValueError, match="heads"):
+            ModelConfig(hidden_dim=10, num_heads=3)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            ModelConfig(hidden_dim=0)
+
+
+@pytest.mark.parametrize("model_name", ["rgcn", "rgat", "simple_hgn"])
+class TestForward:
+    def test_output_shapes(self, model_name, tiny_imdb):
+        _, _, _, out = _run(model_name, tiny_imdb)
+        for vtype in tiny_imdb.vertex_types:
+            assert out[vtype].shape == (
+                tiny_imdb.num_vertices(vtype),
+                SMALL.hidden_dim,
+            )
+
+    def test_outputs_finite(self, model_name, tiny_imdb):
+        _, _, _, out = _run(model_name, tiny_imdb)
+        for h in out.values():
+            assert np.isfinite(h).all()
+
+    def test_deterministic(self, model_name, tiny_imdb):
+        _, _, _, a = _run(model_name, tiny_imdb, seed=4)
+        _, _, _, b = _run(model_name, tiny_imdb, seed=4)
+        for vtype in a:
+            np.testing.assert_array_equal(a[vtype], b[vtype])
+
+    def test_seed_changes_output(self, model_name, tiny_imdb):
+        _, _, _, a = _run(model_name, tiny_imdb, seed=1)
+        _, _, _, b = _run(model_name, tiny_imdb, seed=2)
+        assert any(not np.array_equal(a[v], b[v]) for v in a)
+
+    def test_neighbors_influence_output(self, model_name, make_semantic):
+        """Changing a source vertex's features changes its neighbors'
+        embeddings -- aggregation actually flows along edges."""
+        from repro.graph.hetero import HeteroGraph, Relation
+
+        graph = HeteroGraph(
+            num_vertices={"a": 3, "b": 2},
+            feature_dims={"a": 4, "b": 4},
+            edges={
+                Relation("a", "r", "b"): (np.array([0, 1]), np.array([0, 1]))
+            },
+        )
+        model = get_model(model_name, SMALL)
+        features = make_features(graph, SMALL, seed=0)
+        params = model.init_params(graph, seed=1)
+        out1 = model.forward(graph, features, params)
+        features2 = {k: v.copy() for k, v in features.items()}
+        features2["a"][0] += 1.0
+        out2 = model.forward(graph, features2, params)
+        # b0 aggregates a0 -> must change; b1 aggregates a1 only.
+        assert not np.allclose(out1["b"][0], out2["b"][0])
+        np.testing.assert_allclose(out1["b"][1], out2["b"][1])
+
+    def test_na_accumulator_shapes(self, model_name, make_semantic):
+        model = get_model(model_name, SMALL)
+        sg = make_semantic(4, 5, [(0, 1), (2, 3)])
+        rng = np.random.default_rng(0)
+        projected = {
+            "src": rng.standard_normal((4, SMALL.hidden_dim)),
+            "dst": rng.standard_normal((5, SMALL.hidden_dim)),
+        }
+        # Attention models need relation-keyed params.
+        from repro.graph.hetero import HeteroGraph, Relation
+
+        graph = HeteroGraph(
+            num_vertices={"a": 4, "b": 5},
+            feature_dims={"a": 4, "b": 4},
+            edges={Relation("a", "r", "b"): (sg.src, sg.dst)},
+        )
+        params = model.init_params(graph, seed=0)
+        num, den = model.neighbor_aggregation(sg, projected, params)
+        assert num.shape == (5, SMALL.hidden_dim)
+        assert den.shape[0] == 5
+
+    def test_empty_relation_handled(self, model_name):
+        from repro.graph.hetero import HeteroGraph, Relation
+
+        graph = HeteroGraph(
+            num_vertices={"a": 3, "b": 3},
+            feature_dims={"a": 4, "b": 4},
+            edges={
+                Relation("a", "r", "b"): (
+                    np.array([], dtype=np.int64),
+                    np.array([], dtype=np.int64),
+                )
+            },
+        )
+        model = get_model(model_name, SMALL)
+        features = make_features(graph, SMALL, seed=0)
+        params = model.init_params(graph, seed=1)
+        out = model.forward(graph, features, params)
+        assert np.isfinite(out["b"]).all()
+
+
+class TestModelSpecifics:
+    def test_rgcn_mean_aggregation(self, make_semantic):
+        """A destination's NA result is the mean of its in-neighbors'
+        projected features (RGCN's 1/c normalization)."""
+        from repro.graph.hetero import HeteroGraph, Relation
+
+        graph = HeteroGraph(
+            num_vertices={"a": 2, "b": 1},
+            feature_dims={"a": 4, "b": 4},
+            edges={Relation("a", "r", "b"): (np.array([0, 1]), np.array([0, 0]))},
+        )
+        model = get_model("rgcn", SMALL)
+        params = model.init_params(graph, seed=0)
+        sg = make_semantic(2, 1, [(0, 0), (1, 0)],
+                           relation=Relation("a", "r", "b"))
+        h_src = np.array([[1.0] * SMALL.hidden_dim, [3.0] * SMALL.hidden_dim])
+        num, den = model.neighbor_aggregation(sg, {"src": h_src, "dst": None}, params)
+        finished = model.finalize_na(num, den)
+        assert np.allclose(finished[0], 2.0)
+
+    def test_attention_weights_depend_on_dst(self, make_semantic):
+        """RGAT scores use destination features: two destinations with
+        identical neighborhoods but different features aggregate
+        differently."""
+        from repro.graph.hetero import HeteroGraph, Relation
+
+        rel = Relation("a", "r", "b")
+        graph = HeteroGraph(
+            num_vertices={"a": 2, "b": 2},
+            feature_dims={"a": 4, "b": 4},
+            edges={rel: (np.array([0, 1, 0, 1]), np.array([0, 0, 1, 1]))},
+        )
+        model = get_model("rgat", SMALL)
+        params = model.init_params(graph, seed=3)
+        sg = make_semantic(2, 2, [(0, 0), (1, 0), (0, 1), (1, 1)], relation=rel)
+        rng = np.random.default_rng(0)
+        projected = {
+            "src": rng.standard_normal((2, SMALL.hidden_dim)),
+            "dst": rng.standard_normal((2, SMALL.hidden_dim)) * 5,
+        }
+        num, den = model.neighbor_aggregation(sg, projected, params)
+        finished = model.finalize_na(num, den)
+        assert not np.allclose(finished[0], finished[1])
+
+    def test_simple_hgn_edge_term_matters(self, tiny_imdb):
+        """Zeroing the edge-type terms changes Simple-HGN's output."""
+        model = get_model("simple_hgn", SMALL)
+        features = make_features(tiny_imdb, SMALL, seed=0)
+        params = model.init_params(tiny_imdb, seed=1)
+        out1 = model.forward(tiny_imdb, features, params)
+        for key in params["edge_term"]:
+            params["edge_term"][key] = params["edge_term"][key] + 5.0
+        out2 = model.forward(tiny_imdb, features, params)
+        assert any(not np.allclose(out1[v], out2[v]) for v in out1)
+
+    def test_flop_coefficients_positive(self):
+        for name in MODEL_REGISTRY:
+            model = get_model(name, SMALL)
+            assert model.na_flops_per_edge() > 0
+            assert model.sf_flops_per_vertex(3) > 0
+            assert model.fp_flops_per_vertex() > 0
+            assert model.input_proj_flops_per_vertex(100) > 0

@@ -1,0 +1,73 @@
+"""Tests for workload accounting (FLOPs/bytes per stage)."""
+
+import pytest
+
+from repro.graph.semantic import build_semantic_graphs
+from repro.models.base import ModelConfig
+from repro.models.workload import WorkloadModel, get_model
+
+SMALL = ModelConfig(hidden_dim=16, num_heads=4, embed_dim=8)
+
+
+@pytest.fixture(scope="module")
+def wm():
+    return WorkloadModel(get_model("rgat", SMALL))
+
+
+class TestSemanticGraphWork:
+    def test_na_flops_scale_with_edges(self, wm, make_semantic):
+        small = wm.semantic_graph_work(make_semantic(10, 10, num_edges=10, seed=0))
+        large = wm.semantic_graph_work(make_semantic(10, 10, num_edges=40, seed=0))
+        assert large.na.flops == 4 * small.na.flops
+
+    def test_na_input_is_compulsory_floor(self, wm, make_semantic):
+        sg = make_semantic(10, 10, num_edges=30, seed=1)
+        work = wm.semantic_graph_work(sg)
+        assert work.na.input_bytes == len(sg.active_src()) * SMALL.feature_vector_bytes
+
+    def test_fp_counts_both_sides_for_attention(self, make_semantic):
+        sg = make_semantic(8, 8, num_edges=16, seed=2)
+        rgat = WorkloadModel(get_model("rgat", SMALL)).semantic_graph_work(sg)
+        rgcn = WorkloadModel(get_model("rgcn", SMALL)).semantic_graph_work(sg)
+        assert rgat.fp.flops > rgcn.fp.flops
+
+    def test_totals_are_sums(self, wm, make_semantic):
+        work = wm.semantic_graph_work(make_semantic(6, 6, num_edges=12, seed=3))
+        assert work.total_flops == work.fp.flops + work.na.flops + work.sf.flops
+        assert work.total_bytes == (
+            work.fp.total_bytes + work.na.total_bytes + work.sf.total_bytes
+        )
+
+    def test_empty_graph_zero_work(self, wm, make_semantic):
+        work = wm.semantic_graph_work(make_semantic(4, 4, []))
+        assert work.na.flops == 0
+        assert work.num_edges == 0
+
+
+class TestHeteroWork:
+    def test_one_item_per_relation(self, wm, tiny_imdb):
+        items = wm.hetero_work(tiny_imdb)
+        assert len(items) == len(tiny_imdb.relations)
+
+    def test_relations_at_dst_counted(self, wm, tiny_imdb):
+        sgs = build_semantic_graphs(tiny_imdb)
+        items = wm.hetero_work(tiny_imdb, sgs)
+        # all items exist and have consistent edge counts
+        for item, sg in zip(items, sgs):
+            assert item.num_edges == sg.num_edges
+
+
+class TestInputProjection:
+    def test_per_type_entries(self, wm, tiny_imdb):
+        work = wm.input_projection_work(tiny_imdb)
+        assert set(work) == set(tiny_imdb.vertex_types)
+
+    def test_featureless_types_use_embed_dim(self, wm, tiny_imdb):
+        work = wm.input_projection_work(tiny_imdb)
+        kw = work["keyword"]  # featureless in IMDB
+        n = tiny_imdb.num_vertices("keyword")
+        assert kw.input_bytes == n * SMALL.embed_dim * SMALL.feature_bytes
+
+    def test_raw_dims_drive_cost(self, wm, tiny_imdb):
+        work = wm.input_projection_work(tiny_imdb)
+        assert work["movie"].flops > work["keyword"].flops

@@ -1,0 +1,109 @@
+"""Tests for backbone selection (vertex cover from matching)."""
+
+import numpy as np
+import pytest
+
+from repro.restructure.backbone import (
+    select_backbone,
+    select_backbone_konig,
+    select_backbone_paper,
+)
+from repro.restructure.matching import maximum_matching
+
+
+class TestKonig:
+    def test_cover_on_simple_graph(self, make_semantic):
+        sg = make_semantic(3, 3, [(0, 0), (0, 1), (1, 0), (2, 2)])
+        matching = maximum_matching(sg)
+        partition = select_backbone_konig(sg, matching)
+        assert partition.is_vertex_cover(sg)
+        assert partition.backbone_size == matching.size
+
+    def test_star_cover_is_hub(self, make_semantic):
+        sg = make_semantic(1, 6, [(0, d) for d in range(6)])
+        partition = select_backbone_konig(sg, maximum_matching(sg))
+        assert partition.src_in.tolist() == [0]
+        assert len(partition.dst_in) == 0
+
+    def test_isolated_vertices_outside_backbone(self, make_semantic):
+        sg = make_semantic(4, 4, [(0, 0)])
+        partition = select_backbone_konig(sg, maximum_matching(sg))
+        assert partition.backbone_size == 1
+        outside = set(partition.src_out.tolist())
+        assert {1, 2, 3} <= outside
+
+    def test_empty_graph(self, make_semantic):
+        sg = make_semantic(3, 3, [])
+        partition = select_backbone_konig(sg, maximum_matching(sg))
+        assert partition.backbone_size == 0
+        assert partition.is_vertex_cover(sg)
+
+    def test_four_way_partition_is_exhaustive(self, make_semantic):
+        sg = make_semantic(6, 6, num_edges=14, seed=1)
+        partition = select_backbone_konig(sg, maximum_matching(sg))
+        assert len(partition.src_in) + len(partition.src_out) == 6
+        assert len(partition.dst_in) + len(partition.dst_out) == 6
+
+
+class TestPaperStrategy:
+    def test_repair_guarantees_cover(self, make_semantic):
+        # Perfect matching on K2,2: the unrepaired Algorithm 2 selects
+        # nothing (no unmatched vertices exist on either side).
+        sg = make_semantic(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)])
+        matching = maximum_matching(sg)
+        unrepaired = select_backbone_paper(sg, matching, repair=False)
+        assert not unrepaired.is_vertex_cover(sg)
+        repaired = select_backbone_paper(sg, matching, repair=True)
+        assert repaired.is_vertex_cover(sg)
+
+    def test_matches_paper_classification_with_unmatched(self, make_semantic):
+        # s0 matched to d0; d1 unmatched neighbor of s0 -> s0 in Src_in.
+        sg = make_semantic(2, 2, [(0, 0), (0, 1)])
+        matching = maximum_matching(sg)
+        partition = select_backbone_paper(sg, matching)
+        assert 0 in partition.src_in.tolist()
+        assert 1 in partition.dst_out.tolist()
+
+    def test_cover_on_random_graphs(self, make_semantic):
+        for seed in range(5):
+            sg = make_semantic(12, 12, num_edges=40, seed=seed)
+            partition = select_backbone_paper(sg, maximum_matching(sg))
+            assert partition.is_vertex_cover(sg)
+
+
+class TestEdgeClassification:
+    def test_labels_partition_edges(self, make_semantic):
+        sg = make_semantic(10, 10, num_edges=30, seed=2)
+        partition = select_backbone_konig(sg, maximum_matching(sg))
+        labels = partition.classify_edges(sg)
+        assert (labels >= 0).all()
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_label_semantics(self, make_semantic):
+        sg = make_semantic(5, 5, num_edges=12, seed=3)
+        partition = select_backbone_konig(sg, maximum_matching(sg))
+        labels = partition.classify_edges(sg)
+        src_in = partition.src_in_mask
+        dst_in = partition.dst_in_mask
+        for label, (s, d) in zip(labels, zip(sg.src, sg.dst)):
+            if label == 0:
+                assert not src_in[s] and dst_in[d]
+            elif label == 1:
+                assert src_in[s] and dst_in[d]
+            else:
+                assert src_in[s] and not dst_in[d]
+
+
+class TestDispatch:
+    def test_unknown_strategy_rejected(self, make_semantic):
+        sg = make_semantic(2, 2, [(0, 0)])
+        with pytest.raises(ValueError, match="unknown backbone strategy"):
+            select_backbone(sg, maximum_matching(sg), "magic")
+
+    def test_both_strategies_dispatchable(self, make_semantic):
+        sg = make_semantic(4, 4, num_edges=8, seed=0)
+        matching = maximum_matching(sg)
+        for strategy in ("konig", "paper"):
+            partition = select_backbone(sg, matching, strategy)
+            assert partition.is_vertex_cover(sg)
+            assert partition.strategy == strategy

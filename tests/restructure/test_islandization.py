@@ -1,0 +1,74 @@
+"""Tests for the I-GCN islandization baseline."""
+
+import numpy as np
+import pytest
+
+from repro.restructure.islandization import degree_sort_schedule, islandize
+
+
+class TestIslandize:
+    def test_islands_cover_all_active_destinations(self, make_semantic):
+        sg = make_semantic(12, 12, num_edges=40, seed=1)
+        islands = islandize(sg)
+        covered = set()
+        for island in islands:
+            covered.update(island.dst_vertices.tolist())
+        assert covered == set(sg.active_dst().tolist())
+
+    def test_islands_disjoint_on_destinations(self, make_semantic):
+        sg = make_semantic(12, 12, num_edges=40, seed=2)
+        seen = set()
+        for island in islandize(sg):
+            dsts = set(island.dst_vertices.tolist())
+            assert not (dsts & seen)
+            seen |= dsts
+
+    def test_seed_is_highest_degree(self, make_semantic):
+        sg = make_semantic(5, 5, [(s, 0) for s in range(5)] + [(0, 1)])
+        islands = islandize(sg)
+        assert islands[0].seed_dst == 0  # degree 5 hub seeds first
+
+    def test_island_size_cap_respected(self, make_semantic):
+        sg = make_semantic(30, 30, num_edges=200, seed=3)
+        for island in islandize(sg, max_island_vertices=16):
+            # the seed's own source neighborhood may exceed the cap;
+            # expansions beyond it must not.
+            assert island.num_vertices <= max(
+                16, 1 + len(island.src_vertices)
+            )
+
+    def test_degenerate_cap_rejected(self, make_semantic):
+        sg = make_semantic(3, 3, [(0, 0)])
+        with pytest.raises(ValueError, match="island"):
+            islandize(sg, max_island_vertices=1)
+
+    def test_bipartite_degradation(self):
+        """The paper's claim: on bipartite graphs islandization
+        collapses toward hub-grabbing -- the first island centres on
+        the max-degree vertex and swallows a large share of sources."""
+        rng = np.random.default_rng(0)
+        from tests.conftest import build_semantic
+
+        edges = [(int(s), 0) for s in range(40)]  # giant hub
+        edges += [(int(rng.integers(40)), int(d)) for d in range(1, 20)]
+        sg = build_semantic(40, 20, list(dict.fromkeys(edges)))
+        islands = islandize(sg, max_island_vertices=64)
+        assert islands[0].seed_dst == 0
+        assert len(islands[0].src_vertices) >= 40
+
+
+class TestDegreeSort:
+    def test_descending_by_default(self, make_semantic):
+        sg = make_semantic(6, 4, [(0, 0), (1, 0), (2, 0), (3, 1), (4, 2)])
+        schedule = degree_sort_schedule(sg)
+        assert schedule[0] == 0  # degree 3 first
+
+    def test_ascending_option(self, make_semantic):
+        sg = make_semantic(6, 4, [(0, 0), (1, 0), (2, 0), (3, 1)])
+        schedule = degree_sort_schedule(sg, descending=False)
+        assert schedule[-1] == 0
+
+    def test_is_permutation_of_active(self, make_semantic):
+        sg = make_semantic(10, 10, num_edges=25, seed=4)
+        schedule = degree_sort_schedule(sg)
+        assert sorted(schedule.tolist()) == sg.active_dst().tolist()

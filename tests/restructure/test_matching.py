@@ -1,0 +1,118 @@
+"""Unit tests for graph decoupling (maximum matching)."""
+
+import numpy as np
+import pytest
+
+from repro.restructure.hopcroft_karp import hopcroft_karp
+from repro.restructure.matching import (
+    MatchingCounters,
+    maximum_matching,
+    maximum_matching_fifo,
+)
+
+ALL_MATCHERS = [maximum_matching, maximum_matching_fifo, hopcroft_karp]
+
+
+@pytest.mark.parametrize("matcher", ALL_MATCHERS)
+class TestBasicMatching:
+    def test_perfect_matching_diagonal(self, matcher, make_semantic):
+        sg = make_semantic(3, 3, [(0, 0), (1, 1), (2, 2)])
+        result = matcher(sg)
+        assert result.size == 3
+        assert result.is_valid_matching(sg)
+
+    def test_star_graph_matches_one(self, matcher, make_semantic):
+        sg = make_semantic(1, 5, [(0, d) for d in range(5)])
+        assert matcher(sg).size == 1
+
+    def test_reverse_star(self, matcher, make_semantic):
+        sg = make_semantic(5, 1, [(s, 0) for s in range(5)])
+        assert matcher(sg).size == 1
+
+    def test_augmenting_path_needed(self, matcher, make_semantic):
+        # Greedy can match (0,0), blocking 1; augmentation fixes it.
+        sg = make_semantic(2, 2, [(0, 0), (0, 1), (1, 0)])
+        result = matcher(sg)
+        assert result.size == 2
+        assert result.is_valid_matching(sg)
+
+    def test_long_augmenting_chain(self, matcher, make_semantic):
+        # Path graph: s0-d0, s0-d1, s1-d1, s1-d2, s2-d2 ... forces chains
+        edges = []
+        n = 6
+        for i in range(n):
+            edges.append((i, i))
+            if i + 1 < n:
+                edges.append((i, i + 1))
+        sg = make_semantic(n, n, edges)
+        assert matcher(sg).size == n
+
+    def test_empty_graph(self, matcher, make_semantic):
+        sg = make_semantic(4, 4, [])
+        result = matcher(sg)
+        assert result.size == 0
+        assert result.is_valid_matching(sg)
+
+    def test_complete_bipartite(self, matcher, make_semantic):
+        k = 4
+        sg = make_semantic(k, k, [(s, d) for s in range(k) for d in range(k)])
+        assert matcher(sg).size == k
+
+    def test_matching_is_maximal(self, matcher, make_semantic):
+        sg = make_semantic(10, 10, num_edges=25, seed=3)
+        result = matcher(sg)
+        assert result.is_maximal(sg)
+
+    def test_pairs_are_mutual(self, matcher, make_semantic):
+        sg = make_semantic(8, 8, num_edges=20, seed=5)
+        result = matcher(sg)
+        for u, v in result.pairs():
+            assert result.match_dst[v] == u
+
+    def test_unbalanced_sides(self, matcher, make_semantic):
+        sg = make_semantic(20, 3, [(s, s % 3) for s in range(20)])
+        assert matcher(sg).size == 3
+
+
+class TestMatchingResult:
+    def test_matched_vertices(self, make_semantic):
+        sg = make_semantic(3, 3, [(0, 1), (2, 0)])
+        result = maximum_matching(sg)
+        assert result.matched_src().tolist() == [0, 2]
+        assert set(result.matched_dst().tolist()) == {0, 1}
+
+    def test_invalid_matching_detected(self, make_semantic):
+        sg = make_semantic(2, 2, [(0, 0)])
+        result = maximum_matching(sg)
+        result.match_src[1] = 1  # corrupt: not an edge, not mutual
+        assert not result.is_valid_matching(sg)
+
+    def test_counters_merge(self):
+        a = MatchingCounters(fifo_pushes=3, edges_scanned=10)
+        b = MatchingCounters(fifo_pushes=2, fifo_pops=4)
+        a.merge(b)
+        assert a.fifo_pushes == 5
+        assert a.fifo_pops == 4
+        assert a.edges_scanned == 10
+
+
+class TestCounters:
+    def test_fifo_counts_edges_scanned(self, make_semantic):
+        sg = make_semantic(5, 5, num_edges=12, seed=0)
+        result = maximum_matching_fifo(sg)
+        assert result.counters.edges_scanned >= sg.num_edges * 0  # scans happen
+        assert result.counters.fifo_pushes > 0
+
+    def test_greedy_init_reduces_search(self, make_semantic):
+        sg = make_semantic(40, 40, num_edges=160, seed=2)
+        with_greedy = maximum_matching_fifo(sg, greedy_init=True)
+        without = maximum_matching_fifo(sg, greedy_init=False)
+        assert with_greedy.size == without.size
+        assert (
+            with_greedy.counters.fifo_pushes <= without.counters.fifo_pushes
+        )
+
+    def test_augmenting_paths_counted(self, make_semantic):
+        sg = make_semantic(2, 2, [(0, 0), (0, 1), (1, 0)])
+        result = maximum_matching_fifo(sg, greedy_init=False)
+        assert result.counters.augmenting_paths == result.size

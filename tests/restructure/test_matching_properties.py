@@ -1,0 +1,74 @@
+"""Property-based cross-validation of the three matching implementations.
+
+The central correctness argument: the paper's Algorithm 1 renderings
+must produce *maximum* matchings. We verify by agreement with textbook
+Hopcroft-Karp on arbitrary random bipartite graphs, plus the König
+relationship between matching size and vertex-cover size.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.restructure.backbone import select_backbone_konig
+from repro.restructure.hopcroft_karp import hopcroft_karp
+from repro.restructure.matching import maximum_matching, maximum_matching_fifo
+from tests.conftest import build_semantic
+
+
+@st.composite
+def bipartite_graphs(draw):
+    num_src = draw(st.integers(1, 25))
+    num_dst = draw(st.integers(1, 25))
+    max_edges = num_src * num_dst
+    num_edges = draw(st.integers(0, min(max_edges, 80)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if num_edges:
+        codes = rng.choice(max_edges, size=num_edges, replace=False)
+        edges = [(int(c) // num_dst, int(c) % num_dst) for c in codes]
+    else:
+        edges = []
+    return build_semantic(num_src, num_dst, edges)
+
+
+@given(bipartite_graphs())
+@settings(max_examples=150, deadline=None)
+def test_all_matchers_agree_on_cardinality(sg):
+    reference = hopcroft_karp(sg).size
+    assert maximum_matching(sg).size == reference
+    assert maximum_matching_fifo(sg).size == reference
+
+
+@given(bipartite_graphs())
+@settings(max_examples=100, deadline=None)
+def test_matchings_are_valid(sg):
+    for matcher in (maximum_matching, maximum_matching_fifo, hopcroft_karp):
+        result = matcher(sg)
+        assert result.is_valid_matching(sg)
+        assert result.is_maximal(sg)
+
+
+@given(bipartite_graphs())
+@settings(max_examples=100, deadline=None)
+def test_konig_theorem(sg):
+    """Minimum vertex cover size equals maximum matching size (König)."""
+    matching = maximum_matching(sg)
+    partition = select_backbone_konig(sg, matching)
+    assert partition.backbone_size == matching.size
+    assert partition.is_vertex_cover(sg)
+
+
+@given(bipartite_graphs())
+@settings(max_examples=100, deadline=None)
+def test_matching_bounded_by_sides(sg):
+    size = maximum_matching(sg).size
+    assert size <= min(len(sg.active_src()), len(sg.active_dst()))
+
+
+@given(bipartite_graphs(), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_greedy_init_does_not_change_cardinality(sg, greedy):
+    assert (
+        maximum_matching(sg, greedy_init=greedy).size
+        == hopcroft_karp(sg).size
+    )

@@ -1,0 +1,101 @@
+"""Tests for graph recoupling (subgraph generation + scheduling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.restructure.backbone import BackbonePartition, select_backbone_konig
+from repro.restructure.matching import maximum_matching
+from repro.restructure.recouple import SUBGRAPH_LABELS, recouple
+from tests.conftest import build_semantic
+
+
+def _restructure(sg, budget=256):
+    matching = maximum_matching(sg)
+    partition = select_backbone_konig(sg, matching)
+    return recouple(sg, matching, partition, community_budget=budget)
+
+
+class TestRecouple:
+    def test_three_subgraphs(self, make_semantic):
+        sg = make_semantic(8, 8, num_edges=20, seed=1)
+        result = _restructure(sg)
+        assert len(result.subgraphs) == 3
+        assert result.labels == SUBGRAPH_LABELS
+
+    def test_edges_partitioned_exactly(self, make_semantic):
+        sg = make_semantic(10, 10, num_edges=35, seed=2)
+        result = _restructure(sg)
+        result.validate()  # checks cover, partition and schedules
+
+    def test_subgraph_roles(self, make_semantic):
+        sg = make_semantic(6, 6, num_edges=15, seed=3)
+        result = _restructure(sg)
+        src_in = result.partition.src_in_mask
+        dst_in = result.partition.dst_in_mask
+        g1, g2, g3 = result.subgraphs
+        assert not src_in[g1.src].any() and dst_in[g1.dst].all()
+        assert src_in[g2.src].all() and dst_in[g2.dst].all()
+        assert src_in[g3.src].all() and not dst_in[g3.dst].any()
+
+    def test_invalid_partition_rejected(self, make_semantic):
+        sg = make_semantic(3, 3, [(0, 0), (1, 1)])
+        bad = BackbonePartition(
+            src_in_mask=np.zeros(3, dtype=bool),
+            dst_in_mask=np.zeros(3, dtype=bool),
+        )
+        with pytest.raises(ValueError, match="not a vertex cover"):
+            recouple(sg, maximum_matching(sg), bad)
+
+    def test_empty_graph(self, make_semantic):
+        sg = make_semantic(3, 3, [])
+        result = _restructure(sg)
+        assert result.total_subgraph_edges() == 0
+        result.validate()
+
+    def test_schedule_covers_active_destinations(self, make_semantic):
+        sg = make_semantic(12, 12, num_edges=40, seed=4)
+        result = _restructure(sg)
+        for sub, schedule in zip(result.subgraphs, result.dst_schedules):
+            assert set(schedule.tolist()) == set(sub.active_dst().tolist())
+            assert len(schedule) == len(set(schedule.tolist()))
+
+    def test_invalid_budget_rejected(self, make_semantic):
+        sg = make_semantic(3, 3, [(0, 0)])
+        with pytest.raises(ValueError, match="budget"):
+            _restructure(sg, budget=0)
+
+    def test_leaves_without_children(self, make_semantic):
+        sg = make_semantic(8, 8, num_edges=24, seed=5)
+        result = _restructure(sg)
+        leaves = result.leaves()
+        assert sum(sub.num_edges for sub, _ in leaves) == sg.num_edges
+
+    def test_backbone_size_property(self, make_semantic):
+        sg = make_semantic(7, 7, num_edges=18, seed=6)
+        result = _restructure(sg)
+        assert result.backbone_size == result.matching.size  # König
+
+
+@given(
+    num_src=st.integers(2, 20),
+    num_dst=st.integers(2, 20),
+    seed=st.integers(0, 1000),
+    frac=st.floats(0.05, 0.6),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_recoupling_invariants(num_src, num_dst, seed, frac):
+    """All structural invariants hold on arbitrary random graphs."""
+    rng = np.random.default_rng(seed)
+    max_edges = num_src * num_dst
+    num_edges = max(1, int(max_edges * frac))
+    codes = rng.choice(max_edges, size=num_edges, replace=False)
+    edges = [(int(c) // num_dst, int(c) % num_dst) for c in codes]
+    sg = build_semantic(num_src, num_dst, edges)
+    result = _restructure(sg)
+    result.validate()
+    # No edge between Src_out and Dst_out (the defining property).
+    src_in = result.partition.src_in_mask
+    dst_in = result.partition.dst_in_mask
+    both_out = ~src_in[sg.src] & ~dst_in[sg.dst]
+    assert not both_out.any()

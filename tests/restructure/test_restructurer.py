@@ -1,0 +1,71 @@
+"""Tests for the end-to-end GraphRestructurer pipeline."""
+
+import pytest
+
+from repro.restructure.restructure import GraphRestructurer, decouple
+
+
+class TestDecoupleDispatch:
+    def test_kuhn_and_fifo_agree(self, make_semantic):
+        sg = make_semantic(15, 15, num_edges=50, seed=1)
+        assert decouple(sg, "kuhn").size == decouple(sg, "fifo").size
+
+    def test_unknown_method_rejected(self, make_semantic):
+        sg = make_semantic(2, 2, [(0, 0)])
+        with pytest.raises(ValueError, match="unknown matching method"):
+            decouple(sg, "quantum")
+
+
+class TestRestructurer:
+    def test_default_validates(self, make_semantic):
+        sg = make_semantic(10, 10, num_edges=30, seed=2)
+        result = GraphRestructurer().restructure(sg)
+        assert result.total_subgraph_edges() == sg.num_edges
+
+    def test_recursion_produces_children(self, make_semantic):
+        sg = make_semantic(20, 20, num_edges=120, seed=3)
+        result = GraphRestructurer(max_depth=1, min_edges=4).restructure(sg)
+        assert len(result.children) == 3
+        assert any(child is not None for child in result.children)
+
+    def test_recursion_preserves_edge_partition(self, make_semantic):
+        sg = make_semantic(20, 20, num_edges=120, seed=4)
+        result = GraphRestructurer(max_depth=2, min_edges=8).restructure(sg)
+        leaves = result.leaves()
+        total = sum(sub.num_edges for sub, _ in leaves)
+        assert total == sg.num_edges
+        seen = set()
+        for sub, _ in leaves:
+            edges = sub.edge_set()
+            assert not (edges & seen)
+            seen |= edges
+        assert seen == sg.edge_set()
+
+    def test_min_edges_stops_recursion(self, make_semantic):
+        sg = make_semantic(6, 6, num_edges=10, seed=5)
+        result = GraphRestructurer(max_depth=3, min_edges=10**6).restructure(sg)
+        assert all(child is None for child in result.children)
+
+    def test_depth_zero_has_no_children(self, make_semantic):
+        sg = make_semantic(6, 6, num_edges=10, seed=6)
+        result = GraphRestructurer(max_depth=0).restructure(sg)
+        assert result.children == []
+
+    def test_paper_strategy_configurable(self, make_semantic):
+        sg = make_semantic(10, 10, num_edges=30, seed=7)
+        result = GraphRestructurer(backbone_strategy="paper").restructure(sg)
+        assert result.partition.strategy == "paper"
+        result.validate()
+
+    def test_fifo_matching_configurable(self, make_semantic):
+        sg = make_semantic(10, 10, num_edges=30, seed=8)
+        result = GraphRestructurer(matching_method="fifo").restructure(sg)
+        assert result.matching.counters.fifo_pushes > 0
+
+    def test_community_budget_flows_through(self, make_semantic):
+        sg = make_semantic(30, 30, num_edges=200, seed=9)
+        tight = GraphRestructurer(community_budget=2).restructure(sg)
+        loose = GraphRestructurer(community_budget=10**6).restructure(sg)
+        # Budgets change schedule order, never coverage.
+        for a, b in zip(tight.dst_schedules, loose.dst_schedules):
+            assert set(a.tolist()) == set(b.tolist())

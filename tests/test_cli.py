@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.scale == 0.3
+        assert args.models == "rgcn"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synthesize"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "acm" in out and "dblp" in out and "imdb" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "GDR-HGNN" in out
+        assert "na buffer" in out
+
+    def test_restructure(self, capsys):
+        assert main([
+            "restructure", "--dataset", "imdb", "--scale", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backbone" in out
+        assert "performs" in out
+
+    def test_thrash(self, capsys):
+        assert main([
+            "thrash", "--dataset", "acm", "--scale", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NA hit ratio" in out
+
+    def test_thrash_gdr(self, capsys):
+        assert main([
+            "thrash", "--dataset", "acm", "--scale", "0.05", "--gdr",
+        ]) == 0
+        assert "with GDR-HGNN" in capsys.readouterr().out
+
+    def test_evaluate_small(self, capsys):
+        assert main([
+            "evaluate", "--scale", "0.05", "--models", "rgcn",
+            "--datasets", "acm",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out and "Fig. 8" in out and "Fig. 9" in out
+        assert "GEOMEAN" in out

@@ -1,0 +1,172 @@
+"""Cross-cutting edge cases and failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.hihgnn import HiHGNNSimulator
+from repro.graph.hetero import HeteroGraph, Relation
+from repro.graph.semantic import build_semantic_graphs, compose_metapath
+from repro.graph.stats import hetero_summary
+from repro.models.base import ModelConfig, make_features
+from repro.models.workload import get_model
+from repro.restructure.matching import MatchingResult, maximum_matching
+from repro.restructure.restructure import GraphRestructurer
+
+SMALL = ModelConfig(hidden_dim=16, num_heads=4, embed_dim=8)
+
+
+def _self_relation_graph() -> HeteroGraph:
+    """A citation-style self-relation (paper -> paper)."""
+    return HeteroGraph(
+        num_vertices={"paper": 6},
+        feature_dims={"paper": 4},
+        edges={
+            Relation("paper", "cites", "paper"): (
+                np.array([0, 1, 2, 3, 0]),
+                np.array([1, 2, 3, 4, 5]),
+            )
+        },
+        name="citations",
+    )
+
+
+class TestSelfRelations:
+    def test_semantic_graph_treats_roles_separately(self):
+        sgs = build_semantic_graphs(_self_relation_graph())
+        sg = sgs[0]
+        assert sg.num_src == sg.num_dst == 6
+        assert sg.src_global_base == sg.dst_global_base
+
+    def test_restructuring_self_relation(self):
+        sg = build_semantic_graphs(_self_relation_graph())[0]
+        result = GraphRestructurer().restructure(sg)
+        result.validate()
+
+    def test_models_run_on_self_relation(self):
+        graph = _self_relation_graph()
+        for name in ("rgcn", "rgat", "simple_hgn"):
+            model = get_model(name, SMALL)
+            features = make_features(graph, SMALL, seed=0)
+            params = model.init_params(graph, seed=1)
+            out = model.forward(graph, features, params)
+            assert np.isfinite(out["paper"]).all()
+
+    def test_simulator_runs_on_self_relation(self):
+        report = HiHGNNSimulator(model_config=SMALL).run(
+            _self_relation_graph(), "rgcn"
+        )
+        assert report.total_cycles > 0
+
+
+class TestDegenerateGraphs:
+    def test_single_edge_everything(self):
+        graph = HeteroGraph(
+            num_vertices={"a": 1, "b": 1},
+            feature_dims={"a": 2, "b": 2},
+            edges={Relation("a", "r", "b"): (np.array([0]), np.array([0]))},
+        )
+        sg = build_semantic_graphs(graph)[0]
+        result = GraphRestructurer().restructure(sg)
+        result.validate()
+        assert result.matching.size == 1
+        report = HiHGNNSimulator(model_config=SMALL).run(graph, "rgat")
+        assert report.total_cycles > 0
+
+    def test_vertexless_type(self):
+        graph = HeteroGraph(
+            num_vertices={"a": 3, "b": 0},
+            feature_dims={"a": 2, "b": 2},
+            edges={},
+            name="empty-side",
+        )
+        assert graph.num_vertices("b") == 0
+        assert graph.num_edges() == 0
+
+    def test_star_restructure(self):
+        """One hub destination: the backbone is just the hub."""
+        graph = HeteroGraph(
+            num_vertices={"a": 10, "b": 1},
+            feature_dims={"a": 2, "b": 2},
+            edges={
+                Relation("a", "r", "b"): (
+                    np.arange(10), np.zeros(10, dtype=np.int64)
+                )
+            },
+        )
+        sg = build_semantic_graphs(graph)[0]
+        result = GraphRestructurer().restructure(sg)
+        assert result.backbone_size == 1
+        assert result.partition.dst_in.tolist() == [0]
+
+
+class TestMetapathPipeline:
+    def test_two_hop_metapath_runs_through_model(self):
+        """Compose A->P->V into A->V and aggregate over it."""
+        graph = HeteroGraph(
+            num_vertices={"a": 4, "p": 5, "v": 2},
+            feature_dims={"a": 3, "p": 3, "v": 3},
+            edges={
+                Relation("a", "writes", "p"): (
+                    np.array([0, 1, 2, 3]), np.array([0, 1, 2, 3])
+                ),
+                Relation("p", "in", "v"): (
+                    np.array([0, 1, 2, 3, 4]), np.array([0, 0, 1, 1, 1])
+                ),
+            },
+        )
+        sgs = build_semantic_graphs(graph)
+        av = compose_metapath(sgs[0], sgs[1], name="writes-in")
+        assert av.relation.src_type == "a"
+        assert av.relation.dst_type == "v"
+        result = GraphRestructurer().restructure(av)
+        result.validate()
+
+    def test_metapath_global_bases_propagate(self):
+        graph = HeteroGraph(
+            num_vertices={"a": 2, "p": 2, "v": 2},
+            feature_dims={"a": 1, "p": 1, "v": 1},
+            edges={
+                Relation("a", "w", "p"): (np.array([0]), np.array([0])),
+                Relation("p", "i", "v"): (np.array([0]), np.array([1])),
+            },
+        )
+        sgs = build_semantic_graphs(graph)
+        av = compose_metapath(sgs[0], sgs[1])
+        assert av.src_global_base == graph.type_offset("a")
+        assert av.dst_global_base == graph.type_offset("v")
+
+
+class TestStats:
+    def test_hetero_summary_keys(self, tiny_imdb):
+        summary = hetero_summary(tiny_imdb)
+        assert set(summary) == {str(r) for r in tiny_imdb.relations}
+        for stats in summary.values():
+            assert stats["num_edges"] > 0
+
+
+class TestMatchingResultEdge:
+    def test_empty_pairs(self, make_semantic):
+        sg = make_semantic(3, 3, [])
+        result = maximum_matching(sg)
+        assert result.pairs() == []
+        assert result.size == 0
+
+    def test_manual_result_roundtrip(self):
+        result = MatchingResult(
+            match_src=np.array([1, -1]), match_dst=np.array([-1, 0])
+        )
+        assert result.size == 1
+        assert result.pairs() == [(0, 1)]
+
+
+class TestConfigBoundaries:
+    def test_model_config_frozen(self):
+        config = ModelConfig()
+        with pytest.raises(AttributeError):
+            config.hidden_dim = 1024
+
+    def test_simulator_rejects_unknown_platform_name_passthrough(self, tiny_imdb):
+        report = HiHGNNSimulator(model_config=SMALL).run(
+            tiny_imdb, "rgcn", platform_name="custom"
+        )
+        assert report.platform == "custom"

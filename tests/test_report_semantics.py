@@ -1,0 +1,98 @@
+"""Semantic checks on simulation reports across platforms.
+
+These tests pin down the meaning of the numbers the benchmarks print:
+conservation properties (bytes vs accesses), normalization choices, and
+cross-platform comparability of the report fields.
+"""
+
+import pytest
+
+from repro.accelerator.hihgnn import HiHGNNSimulator
+from repro.frontend.gdr import GDRHGNNSystem
+from repro.gpu.config import A100, T4
+from repro.gpu.gpumodel import GPUSimulator
+from repro.models.base import ModelConfig
+
+SMALL = ModelConfig(hidden_dim=32, num_heads=4, embed_dim=8)
+
+
+@pytest.fixture(scope="module")
+def reports(small_dblp):
+    return {
+        "t4": GPUSimulator(T4, SMALL).run(small_dblp, "rgat"),
+        "a100": GPUSimulator(A100, SMALL).run(small_dblp, "rgat"),
+        "hihgnn": HiHGNNSimulator(model_config=SMALL).run(small_dblp, "rgat"),
+        "gdr": GDRHGNNSystem(model_config=SMALL).run(small_dblp, "rgat"),
+    }
+
+
+class TestConservation:
+    def test_dram_bytes_split(self, reports):
+        for report in reports.values():
+            assert report.dram.total_bytes == (
+                report.dram.bytes_read + report.dram.bytes_written
+            )
+            assert report.dram.accesses == (
+                report.dram.reads + report.dram.writes
+            )
+
+    def test_accelerator_stage_bytes_bounded_by_dram(self, reports):
+        for key in ("hihgnn", "gdr"):
+            report = reports[key]
+            stage_read = sum(
+                s.dram_bytes_read for s in report.stage_totals.values()
+            )
+            # Stage accounting is a subset of total DRAM (the system
+            # report may add frontend topology traffic on top).
+            assert stage_read <= report.dram.bytes_read
+
+    def test_na_hit_miss_sum_to_edge_accesses(self, small_dblp, reports):
+        report = reports["hihgnn"]
+        na = report.stage_totals["na"]
+        total_edges = small_dblp.num_edges()
+        assert na.buffer_hits + na.buffer_misses == total_edges
+
+
+class TestComparability:
+    def test_all_platforms_expose_common_fields(self, reports):
+        for report in reports.values():
+            assert report.time_ms > 0
+            assert report.dram_accesses > 0
+            assert report.dram_bytes > 0
+            assert 0.0 <= report.bandwidth_utilization <= 1.0
+
+    def test_speedup_is_time_ratio(self, reports):
+        t4, gdr = reports["t4"], reports["gdr"]
+        assert gdr.speedup_over(t4) == pytest.approx(
+            t4.time_ms / gdr.time_ms
+        )
+
+    def test_platform_labels(self, reports):
+        assert reports["t4"].platform == "t4"
+        assert reports["hihgnn"].platform == "hihgnn"
+        assert reports["gdr"].platform == "hihgnn+gdr"
+
+    def test_dataset_and_model_recorded(self, reports):
+        for report in reports.values():
+            assert report.model == "rgat"
+            assert report.dataset.startswith("dblp")
+
+
+class TestGPUInternals:
+    def test_gpu_histogram_available(self, reports):
+        hist = reports["t4"].na_replacement_histogram
+        assert set(hist) == set(range(1, 9))
+
+    def test_l2_stats_consistent(self, reports):
+        l2 = reports["t4"].l2
+        assert l2.accesses == l2.hits + l2.misses
+        assert l2.bytes_from_dram == l2.misses * SMALL.feature_vector_bytes
+
+    def test_stage_times_nonnegative(self, reports):
+        for key in ("t4", "a100"):
+            for value in reports[key].stage_time_ms.values():
+                assert value >= 0.0
+
+    def test_gdr_frontend_cycles_recorded(self, reports):
+        assert reports["gdr"].frontend_cycles > 0
+        assert reports["hihgnn"].frontend_cycles == 0
