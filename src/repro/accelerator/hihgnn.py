@@ -21,7 +21,6 @@ buffer models.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,7 +36,7 @@ from repro.accelerator.stages import (
 )
 from repro.graph.hetero import HeteroGraph
 from repro.graph.semantic import SemanticGraph, build_semantic_graphs
-from repro.memory.buffer import FeatureBuffer
+from repro.memory.buffer import FeatureBuffer, replacement_histogram_from_counts
 from repro.memory.dram import DRAMStats, HBMModel
 from repro.models.base import ModelConfig
 from repro.models.workload import get_model
@@ -266,11 +265,9 @@ class HiHGNNSimulator:
 
         total_cycles = (max(lane_cycles) if lane_cycles else 0) + ip_makespan
 
-        merged_fetches: Counter[int] = Counter()
-        for buffer in lane_buffers:
-            merged_fetches.update(buffer.fetch_counts())
-        histogram = _merged_histogram(merged_fetches)
-        redundant = sum(n - 1 for n in merged_fetches.values())
+        merged_ids, merged_counts = _merge_fetch_arrays(lane_buffers)
+        histogram = replacement_histogram_from_counts(merged_counts)
+        redundant = int(merged_counts.sum() - len(merged_counts))
         na_total = stage_totals["na"]
         na_accesses = na_total.buffer_hits + na_total.buffer_misses
         na_hit_ratio = na_total.buffer_hits / na_accesses if na_accesses else 0.0
@@ -303,23 +300,18 @@ class HiHGNNSimulator:
         return report
 
 
-def _merged_histogram(
-    fetch_counts: Counter, max_times: int = 8
-) -> dict[int, dict[str, float]]:
-    """Fig. 2 histogram over merged per-lane fetch counts."""
-    histogram: dict[int, dict[str, float]] = {
-        t: {"vertex_ratio": 0.0, "access_ratio": 0.0}
-        for t in range(1, max_times + 1)
-    }
-    total_vertices = len(fetch_counts)
-    total_accesses = sum(fetch_counts.values())
-    if not total_vertices or not total_accesses:
-        return histogram
-    for fetches in fetch_counts.values():
-        times = fetches - 1
-        if times < 1:
-            continue
-        bucket = min(times, max_times)
-        histogram[bucket]["vertex_ratio"] += 100.0 / total_vertices
-        histogram[bucket]["access_ratio"] += 100.0 * fetches / total_accesses
-    return histogram
+def _merge_fetch_arrays(
+    buffers: list[FeatureBuffer],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-lane ``(ids, counts)`` fetch ledgers into one."""
+    parts = [buf.fetch_arrays() for buf in buffers]
+    ids = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, np.int64)
+    counts = (
+        np.concatenate([p[1] for p in parts]) if parts else np.empty(0, np.int64)
+    )
+    if not len(ids):
+        return ids, counts
+    uniq, inv = np.unique(ids, return_inverse=True)
+    totals = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(totals, inv, counts)
+    return uniq, totals

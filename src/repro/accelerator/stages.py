@@ -16,7 +16,7 @@ import numpy as np
 from repro.accelerator.config import HiHGNNConfig
 from repro.accelerator.simd import SIMDUnit
 from repro.accelerator.systolic import SystolicArray
-from repro.graph.csr import CSR
+from repro.graph.csr import CSR, gather_rows
 from repro.graph.semantic import SemanticGraph
 from repro.memory.buffer import FeatureBuffer
 from repro.memory.dram import HBMModel
@@ -64,20 +64,10 @@ def gather_in_neighbors(csc: CSR, schedule: np.ndarray) -> np.ndarray:
 
     Vectorized equivalent of
     ``np.concatenate([csc.neighbors(v) for v in schedule])`` -- this is
-    the NA stage's source-feature access trace.
+    the NA stage's source-feature access trace. Thin alias of
+    :func:`repro.graph.csr.gather_rows`, kept for its historical name.
     """
-    schedule = np.asarray(schedule, dtype=np.int64)
-    if not len(schedule):
-        return np.empty(0, dtype=np.int64)
-    starts = csc.indptr[schedule]
-    counts = csc.indptr[schedule + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    # offset trick: positions of each run inside csc.indices
-    run_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
-    return csc.indices[np.repeat(starts, counts) + offsets]
+    return gather_rows(csc, schedule)
 
 
 class FPStageEngine:
@@ -229,14 +219,21 @@ class NAStageEngine:
         report = StageReport(name="na")
         if graph.num_edges == 0:
             return report
+        artifact = None
         if schedule is None:
+            # Default schedule: reuse the graph's cached trace and
+            # replay artifact (shared with every other consumer).
             schedule = graph.active_dst()
+            trace = graph.na_trace()
+            artifact = graph.na_replay()
+        else:
+            trace = gather_in_neighbors(graph.csc, schedule) + graph.src_global_base
 
         fvb = cfg.feature_vector_bytes
-        trace = gather_in_neighbors(graph.csc, schedule) + graph.src_global_base
-
         before_hits = self.buffer.stats.hits
-        misses, missed_ids = self.buffer.access_many(trace, collect_misses=True)
+        misses, missed_ids = self.buffer.access_many(
+            trace, collect_misses=True, artifact=artifact
+        )
         report.buffer_hits = self.buffer.stats.hits - before_hits
         report.buffer_misses = misses
 

@@ -69,13 +69,12 @@ class Decoupler:
 
         # Replay FIFO allocation through the set-associative hash table
         # to count conflicts: each distinct destination in the edge
-        # stream claims a FIFO slot while live.
+        # stream claims a FIFO slot while live. The whole destination
+        # stream is probed in one vectorized batch.
         ways = cfg.hash_ways
         num_sets = max(1, cfg.fifo_entries // ways)
         table = HashTable(num_sets, ways)
-        for dst in graph.dst.tolist():
-            if table.lookup(dst) is None:
-                table.insert(dst)
+        table.probe_many(graph.dst)
         conflicts = table.stats.conflicts
 
         scan_cycles = -(-counters.edges_scanned // cfg.edges_per_cycle)

@@ -6,7 +6,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.accelerator.stages import gather_in_neighbors
 from repro.gpu.config import GPUConfig, T4
 from repro.graph.hetero import HeteroGraph
 from repro.graph.semantic import SemanticGraph, build_semantic_graphs
@@ -175,10 +174,10 @@ class GPUSimulator:
             self._count_bulk(dram, active_src * fvb, write=True)
 
             # NA: gather src features per edge through L2. Misses reach
-            # DRAM as line-granular requests.
-            trace = gather_in_neighbors(sg.csc, sg.active_dst())
-            trace = trace + sg.src_global_base
-            misses = l2.access_many(trace)
+            # DRAM as line-granular requests. The trace and its replay
+            # artifact are cached on the semantic graph and shared with
+            # the accelerator simulations of the same dataset.
+            misses = l2.access_many(sg.na_trace(), artifact=sg.na_replay())
             scatter_bytes = misses * fvb
             dram.reads += misses * max(1, fvb // _LINE_BYTES)
             dram.bytes_read += misses * fvb

@@ -11,12 +11,15 @@ Everything the simulators touch memory through lives here:
   accelerator's NA buffer; source of Fig. 2).
 - :class:`~repro.memory.dram.HBMModel` -- channelled HBM with
   row-buffer behaviour and service-cycle accounting (Ramulator-lite).
+- :mod:`~repro.memory.replay` -- the vectorized trace-replay engine
+  (stack-distance LRU simulation) behind every bulk access path.
 """
 
 from repro.memory.fifo import HardwareFIFO, FIFOStats
 from repro.memory.cache import CacheConfig, CacheStats, SetAssociativeCache
 from repro.memory.buffer import BufferStats, FeatureBuffer
 from repro.memory.dram import HBMConfig, HBMModel, DRAMStats
+from repro.memory.replay import TraceArtifact, ReplayResult, count_leq_before, replay_lru
 
 __all__ = [
     "HardwareFIFO",
@@ -29,4 +32,8 @@ __all__ = [
     "HBMConfig",
     "HBMModel",
     "DRAMStats",
+    "TraceArtifact",
+    "ReplayResult",
+    "count_leq_before",
+    "replay_lru",
 ]

@@ -7,14 +7,21 @@ HiHGNN manages it. The statistic that matters to the paper is the
 *replacement count* of each vertex: a vertex whose feature was fetched
 ``n`` times from DRAM was replaced ``n - 1`` times (Fig. 2), and every
 re-fetch is a redundant DRAM access the restructuring method removes.
+
+Bulk traces go through the vectorized replay engine
+(:mod:`repro.memory.replay`); the element-at-a-time path is kept both
+for scalar accesses and, under ``naive=True``, as the reference
+implementation the replay engine is equivalence-tested against.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict, Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.memory.replay import TraceArtifact, replay_lru
 
 __all__ = ["BufferStats", "FeatureBuffer"]
 
@@ -68,7 +75,11 @@ class FeatureBuffer:
         self.entry_bytes = int(entry_bytes)
         self.name = name
         self._resident: OrderedDict[int, None] = OrderedDict()
+        # Fetch accounting is split: scalar accesses update the Counter
+        # directly, batched replays append (ids, counts) array chunks;
+        # the two are merged lazily at reporting time.
         self._fetch_counts: Counter[int] = Counter()
+        self._fetch_chunks: list[tuple[np.ndarray, np.ndarray]] = []
         self.stats = BufferStats()
 
     # ------------------------------------------------------------------
@@ -96,19 +107,67 @@ class FeatureBuffer:
         return False
 
     def access_many(
-        self, vertex_ids: np.ndarray, *, collect_misses: bool = False
+        self,
+        vertex_ids: np.ndarray,
+        *,
+        collect_misses: bool = False,
+        naive: bool = False,
+        artifact: TraceArtifact | None = None,
     ) -> int | tuple[int, np.ndarray]:
         """Stream a sequence of feature reads; returns the miss count.
 
-        The hot loop of every NA simulation; kept free of numpy overhead
-        per element (plain iteration over a list is faster here).
+        The hot loop of every NA simulation. The default path replays
+        the whole trace through the vectorized engine; ``naive=True``
+        selects the legacy per-element loop (the reference the engine
+        is equivalence-tested against).
 
         Args:
             vertex_ids: access trace, in request order.
             collect_misses: also return the missed vertex ids in
                 request order (the DRAM fetch stream the HBM model
                 judges row locality on).
+            naive: use the element-at-a-time reference path.
+            artifact: precomputed :class:`TraceArtifact` of exactly
+                this trace (shared across buffers and capacities);
+                built on the fly when omitted.
         """
+        if naive:
+            return self._access_many_naive(
+                vertex_ids, collect_misses=collect_misses
+            )
+        n = len(vertex_ids)
+        if n == 0:
+            if collect_misses:
+                return 0, np.empty(0, dtype=np.int64)
+            return 0
+        if artifact is None or not (
+            artifact.trace is vertex_ids
+            or (
+                artifact.n == n
+                and np.array_equal(artifact.trace, vertex_ids)
+            )
+        ):
+            artifact = TraceArtifact(vertex_ids)
+        resident = self._resident
+        state = np.fromiter(
+            resident.keys(), dtype=np.int64, count=len(resident)
+        )
+        result = replay_lru(artifact, self.capacity_entries, state)
+        self.stats.hits += result.hits
+        self.stats.misses += result.misses
+        self.stats.evictions += result.evictions
+        self.stats.bytes_from_dram += result.misses * self.entry_bytes
+        if result.misses:
+            self._fetch_chunks.append((result.fetch_ids, result.fetch_counts))
+        self._resident = OrderedDict.fromkeys(result.new_state.tolist())
+        if collect_misses:
+            return result.misses, artifact.trace[~result.hit_mask]
+        return result.misses
+
+    def _access_many_naive(
+        self, vertex_ids: np.ndarray, *, collect_misses: bool = False
+    ) -> int | tuple[int, np.ndarray]:
+        """Seed implementation: plain iteration, one LRU op per element."""
         misses = 0
         missed_ids: list[int] = []
         resident = self._resident
@@ -155,9 +214,38 @@ class FeatureBuffer:
     def occupancy(self) -> int:
         return len(self._resident)
 
+    def fetch_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """DRAM fetches per vertex as ``(ids, counts)`` arrays.
+
+        Ids ascend; counts are positive. The array form is what the
+        vectorized histogram/merge paths consume.
+        """
+        parts_ids: list[np.ndarray] = []
+        parts_counts: list[np.ndarray] = []
+        if self._fetch_counts:
+            parts_ids.append(
+                np.fromiter(self._fetch_counts.keys(), dtype=np.int64)
+            )
+            parts_counts.append(
+                np.fromiter(self._fetch_counts.values(), dtype=np.int64)
+            )
+        for ids, counts in self._fetch_chunks:
+            nz = counts > 0
+            parts_ids.append(ids[nz])
+            parts_counts.append(counts[nz])
+        if not parts_ids:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        all_ids = np.concatenate(parts_ids)
+        all_counts = np.concatenate(parts_counts)
+        uniq, inv = np.unique(all_ids, return_inverse=True)
+        totals = np.zeros(len(uniq), dtype=np.int64)
+        np.add.at(totals, inv, all_counts)
+        return uniq, totals
+
     def fetch_counts(self) -> dict[int, int]:
         """DRAM fetches per vertex id over the buffer's lifetime."""
-        return dict(self._fetch_counts)
+        ids, counts = self.fetch_arrays()
+        return dict(zip(ids.tolist(), counts.tolist()))
 
     def replacement_histogram(self, max_times: int = 8) -> dict[int, dict[str, float]]:
         """Fig. 2's statistic: vertices and DRAM accesses by replacement count.
@@ -172,23 +260,36 @@ class FeatureBuffer:
             with ratios in percent of total vertices fetched / total
             DRAM accesses, matching the figure's two series.
         """
-        total_vertices = len(self._fetch_counts)
-        total_accesses = sum(self._fetch_counts.values())
-        histogram: dict[int, dict[str, float]] = {
-            t: {"vertex_ratio": 0.0, "access_ratio": 0.0}
-            for t in range(1, max_times + 1)
-        }
-        if not total_vertices or not total_accesses:
-            return histogram
-        for fetches in self._fetch_counts.values():
-            times = fetches - 1
-            if times < 1:
-                continue
-            bucket = min(times, max_times)
-            histogram[bucket]["vertex_ratio"] += 100.0 / total_vertices
-            histogram[bucket]["access_ratio"] += 100.0 * fetches / total_accesses
-        return histogram
+        _, counts = self.fetch_arrays()
+        return replacement_histogram_from_counts(counts, max_times=max_times)
 
     def redundant_accesses(self) -> int:
         """DRAM fetches beyond the first per vertex (pure thrashing)."""
-        return sum(n - 1 for n in self._fetch_counts.values())
+        _, counts = self.fetch_arrays()
+        return int(counts.sum() - len(counts))
+
+
+def replacement_histogram_from_counts(
+    fetch_counts: np.ndarray, max_times: int = 8
+) -> dict[int, dict[str, float]]:
+    """Fig. 2 histogram from an array of per-vertex fetch counts."""
+    histogram: dict[int, dict[str, float]] = {
+        t: {"vertex_ratio": 0.0, "access_ratio": 0.0}
+        for t in range(1, max_times + 1)
+    }
+    fetch_counts = np.asarray(fetch_counts, dtype=np.int64)
+    total_vertices = len(fetch_counts)
+    total_accesses = int(fetch_counts.sum()) if total_vertices else 0
+    if not total_vertices or not total_accesses:
+        return histogram
+    times = fetch_counts - 1
+    replaced = times >= 1
+    buckets = np.minimum(times[replaced], max_times)
+    vertex_counts = np.bincount(buckets, minlength=max_times + 1)
+    access_sums = np.bincount(
+        buckets, weights=fetch_counts[replaced], minlength=max_times + 1
+    )
+    for t in range(1, max_times + 1):
+        histogram[t]["vertex_ratio"] = 100.0 * vertex_counts[t] / total_vertices
+        histogram[t]["access_ratio"] = 100.0 * access_sums[t] / total_accesses
+    return histogram
