@@ -79,7 +79,7 @@ def test_ablation_restructure(benchmark):
     print(ascii_table(
         ["variant", "hit ratio", "misses", "redundant"],
         rows,
-        title=f"A1: NA locality ablation (DBLP term->paper, "
+        title="A1: NA locality ablation (DBLP term->paper, "
               f"{CAPACITY}-entry buffer)",
     ))
 

@@ -8,7 +8,7 @@ T4 < A100 < HiHGNN < HiHGNN+GDR everywhere, with GDR's edge largest on
 DBLP (the thrashing-heaviest dataset).
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_JOBS, run_once
 from repro.analysis.experiments import PLATFORMS
 from repro.analysis.report import ascii_table
 
@@ -17,7 +17,7 @@ PAPER_GEOMEAN = {"a100": 4.7, "hihgnn": 38.7, "hihgnn+gdr": 68.8}
 
 def test_fig7_speedup(benchmark, suite):
     def compute():
-        suite.run_grid()
+        suite.run_grid(jobs=BENCH_JOBS)
         return suite.figure7()
 
     table = run_once(benchmark, compute)

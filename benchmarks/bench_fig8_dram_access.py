@@ -7,7 +7,7 @@ bursts vs line-granular requests, no DGL intermediates), and GDR cuts
 HiHGNN's accesses by a large fraction, most on DBLP.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_JOBS, run_once
 from repro.analysis.experiments import PLATFORMS
 from repro.analysis.report import ascii_table
 
@@ -16,7 +16,7 @@ PAPER_GEOMEAN = {"a100": 0.551, "hihgnn": 0.084, "hihgnn+gdr": 0.048}
 
 def test_fig8_dram_accesses(benchmark, suite):
     def compute():
-        suite.run_grid()
+        suite.run_grid(jobs=BENCH_JOBS)
         return suite.figure8()
 
     table = run_once(benchmark, compute)

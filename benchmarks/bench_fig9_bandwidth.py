@@ -8,14 +8,14 @@ GPUs; A100 is the least-utilized (its bandwidth is enormous relative to
 these small graphs); GDR's utilization is in the same band as HiHGNN's.
 """
 
-from benchmarks.conftest import run_once
-from repro.analysis.experiments import PLATFORMS, geomean
+from benchmarks.conftest import BENCH_JOBS, run_once
+from repro.analysis.experiments import PLATFORMS
 from repro.analysis.report import ascii_table
 
 
 def test_fig9_bandwidth_utilization(benchmark, suite):
     def compute():
-        suite.run_grid()
+        suite.run_grid(jobs=BENCH_JOBS)
         return suite.figure9()
 
     table = run_once(benchmark, compute)

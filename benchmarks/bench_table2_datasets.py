@@ -8,7 +8,7 @@ counts follow the HGB releases).
 
 from benchmarks.conftest import run_once
 from repro.analysis.report import ascii_table
-from repro.graph.datasets import DATASET_SPECS, load_dataset
+from repro.graph.datasets import DATASET_SPECS
 
 
 def test_table2(benchmark, suite):

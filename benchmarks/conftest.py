@@ -2,7 +2,14 @@
 
 The full-scale evaluation grid is expensive, so one session-scoped
 :class:`EvaluationSuite` is shared by every benchmark that needs it.
-Set ``REPRO_BENCH_SCALE`` (default 1.0) to trade fidelity for speed.
+Knobs (environment variables):
+
+- ``REPRO_BENCH_SCALE`` (default 1.0) trades fidelity for speed.
+- ``REPRO_BENCH_JOBS`` (default 1) fans the grid out over the parallel
+  runner; results are bit-identical to serial runs.
+- ``REPRO_BENCH_STORE`` (unset by default) points the suite at a
+  persistent artifact store directory, making repeated benchmark
+  sessions warm-cache. Leave unset to measure true simulation cost.
 """
 
 from __future__ import annotations
@@ -12,13 +19,19 @@ import os
 import pytest
 
 from repro.analysis.experiments import EvaluationConfig, EvaluationSuite
+from repro.platforms import ArtifactStore
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_STORE = os.environ.get("REPRO_BENCH_STORE")
 
 
 @pytest.fixture(scope="session")
 def suite() -> EvaluationSuite:
-    return EvaluationSuite(EvaluationConfig(scale=BENCH_SCALE))
+    store = ArtifactStore(BENCH_STORE) if BENCH_STORE else None
+    return EvaluationSuite(
+        EvaluationConfig(scale=BENCH_SCALE), store=store, jobs=BENCH_JOBS
+    )
 
 
 def run_once(benchmark, func):

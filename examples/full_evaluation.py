@@ -34,12 +34,14 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--models", default="rgcn,rgat,simple_hgn")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel grid workers (results are bit-identical)")
     args = parser.parse_args()
 
     config = EvaluationConfig(
         models=tuple(args.models.split(",")), scale=args.scale
     )
-    suite = EvaluationSuite(config)
+    suite = EvaluationSuite(config, jobs=args.jobs)
     suite.run_grid()
     headers = ["model", "dataset"] + list(PLATFORMS)
 

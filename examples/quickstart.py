@@ -67,7 +67,7 @@ def main() -> None:
     worst = max(
         float(np.abs(original[v] - restructured[v]).max()) for v in original
     )
-    print(f"\nRGCN embeddings, original vs restructured: "
+    print("\nRGCN embeddings, original vs restructured: "
           f"max abs diff = {worst:.2e}")
     assert worst < 1e-9
     print("Restructuring changes the schedule, never the math. Done.")

@@ -1,8 +1,11 @@
 """The evaluation suite: every figure and table of §5 (plus §3).
 
-:class:`EvaluationSuite` runs the four platforms (T4, A100, HiHGNN,
-HiHGNN+GDR-HGNN) over the 3 models x 3 datasets grid, caches results,
-and exposes one method per paper artifact. All numbers are normalized
+:class:`EvaluationSuite` is a thin façade over the platform registry,
+the parallel :class:`~repro.platforms.runner.GridRunner` and the
+optional on-disk :class:`~repro.platforms.store.ArtifactStore`: it
+resolves platforms by name (no hard-coded platform branches), runs the
+platform x model x dataset grid — serially or on a worker pool — and
+exposes one method per paper artifact. All numbers are normalized
 exactly as the paper normalizes them (speedup and DRAM access relative
 to the T4 baseline; GEOMEAN across the model/dataset grid).
 """
@@ -13,21 +16,22 @@ import math
 from dataclasses import dataclass, field
 
 from repro.accelerator.config import HiHGNNConfig
-from repro.accelerator.hihgnn import HiHGNNSimulator, SimulationReport
 from repro.analysis.thrashing import ThrashingProfile, thrashing_analysis
 from repro.energy.breakdown import figure10_shares
 from repro.frontend.config import GDRConfig
-from repro.frontend.gdr import GDRHGNNSystem
-from repro.gpu.config import A100, T4
-from repro.gpu.gpumodel import GPUReport, GPUSimulator
-from repro.graph.datasets import DATASET_SPECS, load_dataset
+from repro.graph.datasets import DATASET_SPECS
 from repro.graph.hetero import HeteroGraph
-from repro.graph.semantic import build_semantic_graphs
+from repro.graph.semantic import SemanticGraph
 from repro.graph.stats import graph_stats
 from repro.models.base import ModelConfig
+from repro.models.workload import MODEL_REGISTRY
+from repro.platforms import ArtifactStore, GridRunner, PlatformContext
 
 __all__ = ["EvaluationConfig", "EvaluationSuite", "geomean", "PLATFORMS"]
 
+#: The four platforms of the paper's §5 comparison, in report-column
+#: order. The full registry (including experiment-registered variants)
+#: is :func:`repro.platforms.platform_names`.
 PLATFORMS = ("t4", "a100", "hihgnn", "hihgnn+gdr")
 
 
@@ -45,7 +49,10 @@ class EvaluationConfig:
     """What to run and at what fidelity.
 
     ``scale < 1`` shrinks the datasets for quick runs (tests / smoke);
-    the published comparison uses ``scale=1.0``.
+    the published comparison uses ``scale=1.0``. Dataset and model
+    names are validated eagerly, so a typo fails at construction with
+    the offending entry named instead of surfacing as a ``KeyError``
+    deep inside a simulation.
     """
 
     datasets: tuple[str, ...] = ("acm", "imdb", "dblp")
@@ -56,15 +63,61 @@ class EvaluationConfig:
     frontend: GDRConfig = field(default_factory=GDRConfig)
     model_config: ModelConfig = field(default_factory=ModelConfig)
 
+    def __post_init__(self) -> None:
+        for dataset in self.datasets:
+            if dataset not in DATASET_SPECS:
+                known = ", ".join(sorted(DATASET_SPECS))
+                raise ValueError(
+                    f"unknown dataset {dataset!r}; known datasets: {known}"
+                )
+        for model in self.models:
+            if model.lower().replace("-", "_") not in MODEL_REGISTRY:
+                known = ", ".join(sorted(MODEL_REGISTRY))
+                raise ValueError(
+                    f"unknown model {model!r}; known models: {known}"
+                )
+
+    def platform_context(self) -> PlatformContext:
+        """The configuration bundle handed to platform adapters."""
+        return PlatformContext(
+            accelerator=self.accelerator,
+            frontend=self.frontend,
+            model_config=self.model_config,
+        )
+
 
 class EvaluationSuite:
-    """Runs and caches the full platform x model x dataset grid."""
+    """Runs and caches the full platform x model x dataset grid.
 
-    def __init__(self, config: EvaluationConfig | None = None) -> None:
+    Args:
+        config: grid contents and fidelity.
+        store: optional persistent :class:`ArtifactStore`; when given,
+            repeated suite constructions (e.g. separate CLI
+            invocations) reuse each other's simulation reports.
+        jobs: default worker count for :meth:`run_grid`.
+    """
+
+    def __init__(
+        self,
+        config: EvaluationConfig | None = None,
+        *,
+        store: ArtifactStore | None = None,
+        jobs: int = 1,
+    ) -> None:
         self.config = config or EvaluationConfig()
-        self._graphs: dict[str, HeteroGraph] = {}
-        self._semantic: dict[str, list] = {}
-        self._results: dict[tuple[str, str, str], SimulationReport | GPUReport] = {}
+        self.runner = GridRunner(
+            self.config.platform_context(),
+            seed=self.config.seed,
+            scale=self.config.scale,
+            store=store,
+            jobs=jobs,
+        )
+        # Backward-compatible view of the in-memory result memo.
+        self._results = self.runner.results
+
+    @property
+    def store(self) -> ArtifactStore | None:
+        return self.runner.store
 
     # ------------------------------------------------------------------
     # Execution
@@ -72,13 +125,9 @@ class EvaluationSuite:
 
     def graph(self, dataset: str) -> HeteroGraph:
         """The (cached) synthetic dataset."""
-        if dataset not in self._graphs:
-            self._graphs[dataset] = load_dataset(
-                dataset, seed=self.config.seed, scale=self.config.scale
-            )
-        return self._graphs[dataset]
+        return self.runner.graph(dataset)
 
-    def semantic_graphs(self, dataset: str) -> list:
+    def semantic_graphs(self, dataset: str) -> list[SemanticGraph]:
         """The (cached) SGB output of one dataset.
 
         Built once per dataset and handed to every platform run. The
@@ -87,46 +136,32 @@ class EvaluationSuite:
         trace work is paid once and shared across the whole
         platform x model grid (traces are pure topology).
         """
-        if dataset not in self._semantic:
-            self._semantic[dataset] = build_semantic_graphs(self.graph(dataset))
-        return self._semantic[dataset]
+        return self.runner.artifacts(dataset).semantic_graphs
 
     def run(self, platform: str, model: str, dataset: str):
-        """Run (or fetch from cache) one cell of the grid."""
-        key = (platform, model, dataset)
-        if key in self._results:
-            return self._results[key]
-        graph = self.graph(dataset)
-        sgs = self.semantic_graphs(dataset)
-        cfg = self.config
-        if platform == "t4":
-            result = GPUSimulator(T4, cfg.model_config).run(
-                graph, model, semantic_graphs=sgs
-            )
-        elif platform == "a100":
-            result = GPUSimulator(A100, cfg.model_config).run(
-                graph, model, semantic_graphs=sgs
-            )
-        elif platform == "hihgnn":
-            result = HiHGNNSimulator(cfg.accelerator, cfg.model_config).run(
-                graph, model, semantic_graphs=sgs
-            )
-        elif platform == "hihgnn+gdr":
-            result = GDRHGNNSystem(
-                cfg.accelerator, cfg.frontend, cfg.model_config
-            ).run(graph, model, semantic_graphs=sgs)
-        else:
-            known = ", ".join(PLATFORMS)
-            raise ValueError(f"unknown platform {platform!r}; known: {known}")
-        self._results[key] = result
-        return result
+        """Run (or fetch from cache) one cell of the grid.
 
-    def run_grid(self, platforms: tuple[str, ...] = PLATFORMS) -> None:
-        """Populate the cache for all requested platforms."""
-        for platform in platforms:
-            for model in self.config.models:
-                for dataset in self.config.datasets:
-                    self.run(platform, model, dataset)
+        ``platform`` is resolved through the registry, so any
+        ``@register_platform`` entry — the four paper platforms or an
+        experiment-defined variant — is accepted.
+        """
+        return self.runner.run_cell(platform, model, dataset)
+
+    def run_grid(
+        self,
+        platforms: tuple[str, ...] = PLATFORMS,
+        *,
+        jobs: int | None = None,
+    ) -> None:
+        """Populate the cache for all requested platforms.
+
+        ``jobs > 1`` fans the grid out over a worker pool; results are
+        bit-identical to a serial run (simulations are deterministic
+        and the shared topology artifacts are built before the fan-out).
+        """
+        self.runner.run_grid(
+            platforms, self.config.models, self.config.datasets, jobs=jobs
+        )
 
     # ------------------------------------------------------------------
     # Figures and tables
@@ -186,6 +221,7 @@ class EvaluationSuite:
                 model,
                 config=self.config.accelerator,
                 model_config=self.config.model_config,
+                semantic_graphs=self.semantic_graphs(dataset),
             )
             for dataset in self.config.datasets
         }
@@ -197,7 +233,12 @@ class EvaluationSuite:
             for dataset in self.config.datasets
         }
 
-    def _grid_ratio(self, metric, baseline_platform: str = "t4") -> dict:
+    def _grid_ratio(
+        self,
+        metric,
+        baseline_platform: str = "t4",
+        platforms: tuple[str, ...] = PLATFORMS,
+    ) -> dict:
         """Generic Fig. 7/8 style table: metric ratio vs a baseline."""
         table: dict[str, dict[str, dict[str, float]]] = {}
         for model in self.config.models:
@@ -205,7 +246,7 @@ class EvaluationSuite:
             for dataset in self.config.datasets:
                 baseline = self.run(baseline_platform, model, dataset)
                 row = {}
-                for platform in PLATFORMS:
+                for platform in platforms:
                     result = self.run(platform, model, dataset)
                     row[platform] = metric(result, baseline)
                 table[model][dataset] = row
@@ -219,28 +260,31 @@ class EvaluationSuite:
                         for d in self.config.datasets
                     ]
                 )
-                for platform in PLATFORMS
+                for platform in platforms
             }
         }
         return table
 
-    def figure7(self) -> dict:
+    def figure7(self, platforms: tuple[str, ...] = PLATFORMS) -> dict:
         """Fig. 7: speedup over T4 per platform/model/dataset + GEOMEAN."""
         return self._grid_ratio(
-            lambda result, baseline: baseline.time_ms / result.time_ms
+            lambda result, baseline: baseline.time_ms / result.time_ms,
+            platforms=platforms,
         )
 
-    def figure8(self) -> dict:
+    def figure8(self, platforms: tuple[str, ...] = PLATFORMS) -> dict:
         """Fig. 8: DRAM accesses normalized to T4 (fractions <= ~1)."""
         return self._grid_ratio(
             lambda result, baseline: result.dram_accesses
-            / max(baseline.dram_accesses, 1)
+            / max(baseline.dram_accesses, 1),
+            platforms=platforms,
         )
 
-    def figure9(self) -> dict:
+    def figure9(self, platforms: tuple[str, ...] = PLATFORMS) -> dict:
         """Fig. 9: DRAM bandwidth utilization per platform (fractions)."""
         return self._grid_ratio(
-            lambda result, baseline: result.bandwidth_utilization
+            lambda result, baseline: result.bandwidth_utilization,
+            platforms=platforms,
         )
 
     def figure10(self) -> dict[str, float]:

@@ -3,17 +3,21 @@
 These utilities answer the designer questions behind Table 3's choices:
 how large must the NA buffer be before restructuring stops mattering,
 and how does the frontend's community budget interact with it.
+
+Sweep points run through the platform registry, and the dataset's
+topology artifacts (SGB output, traces, replay precomputation) are
+built once and shared across every capacity point and both platforms.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.accelerator.config import HiHGNNConfig
-from repro.accelerator.hihgnn import HiHGNNSimulator
-from repro.frontend.gdr import GDRHGNNSystem
 from repro.graph.hetero import HeteroGraph
 from repro.models.base import ModelConfig
+from repro.platforms.base import DatasetArtifacts, PlatformContext
+from repro.platforms.registry import create_platform
 
 __all__ = ["BufferSweepPoint", "buffer_sensitivity"]
 
@@ -71,26 +75,20 @@ def buffer_sensitivity(
         One :class:`BufferSweepPoint` per capacity, in input order.
     """
     template = base_config or HiHGNNConfig()
+    artifacts = DatasetArtifacts.build(graph)
     points = []
     for capacity_mb in buffer_mbs:
-        config = HiHGNNConfig(
-            clock_ghz=template.clock_ghz,
-            peak_tflops=template.peak_tflops,
-            num_lanes=template.num_lanes,
-            systolic_rows=template.systolic_rows,
-            systolic_cols=template.systolic_cols,
-            simd_width=template.simd_width,
-            fp_buffer_bytes=template.fp_buffer_bytes,
-            na_buffer_bytes=int(capacity_mb * MB),
-            sf_buffer_bytes=template.sf_buffer_bytes,
-            att_buffer_bytes=template.att_buffer_bytes,
-            hbm=template.hbm,
-            kernel_overhead_cycles=template.kernel_overhead_cycles,
-            na_src_fraction=template.na_src_fraction,
+        context = PlatformContext(
+            accelerator=replace(
+                template, na_buffer_bytes=int(capacity_mb * MB)
+            ),
+            model_config=model_config or ModelConfig(),
         )
-        base = HiHGNNSimulator(config, model_config).run(graph, model_name)
-        gdr = GDRHGNNSystem(config, model_config=model_config).run(
-            graph, model_name
+        base = create_platform("hihgnn", context).simulate(
+            model_name, artifacts
+        )
+        gdr = create_platform("hihgnn+gdr", context).simulate(
+            model_name, artifacts
         )
         points.append(
             BufferSweepPoint(

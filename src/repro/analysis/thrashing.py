@@ -4,6 +4,11 @@ Runs the accelerator's NA stage per dataset and reports how many times
 each vertex's feature was replaced from the buffer, the ratio of
 vertices at each replacement count, and the ratio of DRAM accesses they
 caused -- the two series of Fig. 2.
+
+The run is routed through the platform registry, so the CLI's
+``thrash`` command, :meth:`EvaluationSuite.figure2` and ad-hoc analyses
+all profile exactly the same platform construction (and registered
+accelerator variants can be profiled by name).
 """
 
 from __future__ import annotations
@@ -11,9 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.accelerator.config import HiHGNNConfig
-from repro.accelerator.hihgnn import HiHGNNSimulator
 from repro.graph.hetero import HeteroGraph
+from repro.graph.semantic import SemanticGraph
 from repro.models.base import ModelConfig
+from repro.platforms.base import PlatformContext
+from repro.platforms.registry import create_platform
 from repro.restructure.restructure import GraphRestructurer
 
 __all__ = ["ThrashingProfile", "thrashing_analysis"]
@@ -50,22 +57,35 @@ def thrashing_analysis(
     graph: HeteroGraph,
     model_name: str = "rgcn",
     *,
+    platform: str = "hihgnn",
     config: HiHGNNConfig | None = None,
     model_config: ModelConfig | None = None,
     restructurer: GraphRestructurer | None = None,
+    semantic_graphs: list[SemanticGraph] | None = None,
 ) -> ThrashingProfile:
     """Measure Fig. 2's replacement statistics on one dataset.
 
     Args:
         graph: the dataset.
         model_name: HGNN model (the paper uses RGCN for Fig. 2).
+        platform: registry name of the accelerator platform to profile
+            (must produce a :class:`SimulationReport`-shaped result
+            with NA stage totals).
         config: accelerator configuration (Table 3 defaults).
         model_config: model hyper-parameters.
         restructurer: when given, profiles the restructured execution
-            instead (used to show the histogram collapsing).
+            instead (used to show the histogram collapsing). Forwarded
+            through the platform's ``simulate``.
+        semantic_graphs: pre-built SGB output to reuse across runs.
     """
-    simulator = HiHGNNSimulator(config, model_config)
-    report = simulator.run(graph, model_name, restructurer=restructurer)
+    context = PlatformContext(
+        accelerator=config or HiHGNNConfig(),
+        model_config=model_config or ModelConfig(),
+    )
+    target = create_platform(platform, context)
+    artifacts = target.prepare(graph, semantic_graphs)
+    extra = {"restructurer": restructurer} if restructurer is not None else {}
+    report = target.simulate(model_name, artifacts, **extra)
     na = report.stage_totals["na"]
     return ThrashingProfile(
         dataset=graph.name,

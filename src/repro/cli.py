@@ -3,11 +3,17 @@
 Commands:
 
 - ``evaluate``  -- run the §5 evaluation grid and print Figures 7/8/9.
+- ``platforms`` -- list the registered execution platforms.
 - ``thrash``    -- print Fig. 2 style replacement histograms.
 - ``restructure`` -- restructure one dataset's semantic graphs and
   print backbone/subgraph statistics.
 - ``datasets``  -- print Table 2 style dataset statistics.
 - ``area``      -- print the Fig. 10 area/power breakdown.
+
+``evaluate`` runs through the platform registry and the parallel grid
+runner (``--platforms``, ``--jobs``) and persists simulation reports in
+the on-disk artifact store (``$REPRO_ARTIFACT_DIR``, disable with
+``--no-cache``), so repeated invocations are warm-cache.
 """
 
 from __future__ import annotations
@@ -31,6 +37,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated model list")
     evaluate.add_argument("--datasets", default="acm,imdb,dblp")
     evaluate.add_argument("--seed", type=int, default=1)
+    evaluate.add_argument("--platforms", default=None,
+                          help="comma-separated platform list "
+                               "(default: the four paper platforms)")
+    evaluate.add_argument("--jobs", type=int, default=1,
+                          help="grid worker count (1 = serial)")
+    evaluate.add_argument("--no-cache", action="store_true",
+                          help="skip the on-disk artifact store")
+    evaluate.add_argument("--cache-dir", default=None,
+                          help="artifact store directory "
+                               "(default: $REPRO_ARTIFACT_DIR or "
+                               "~/.cache/repro/artifacts)")
+
+    platforms = sub.add_parser(
+        "platforms", help="list registered execution platforms"
+    )
+    platforms.add_argument("-v", "--verbose", action="store_true",
+                           help="include the adapter class and module")
 
     thrash = sub.add_parser("thrash", help="Fig. 2 replacement histograms")
     thrash.add_argument("--scale", type=float, default=0.3)
@@ -63,19 +86,32 @@ def _cmd_evaluate(args) -> int:
         EvaluationSuite,
     )
     from repro.analysis.report import ascii_table
+    from repro.platforms import ArtifactStore
 
-    config = EvaluationConfig(
-        datasets=tuple(args.datasets.split(",")),
-        models=tuple(args.models.split(",")),
-        seed=args.seed,
-        scale=args.scale,
+    try:
+        config = EvaluationConfig(
+            datasets=tuple(args.datasets.split(",")),
+            models=tuple(args.models.split(",")),
+            seed=args.seed,
+            scale=args.scale,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    platforms = (
+        tuple(args.platforms.split(",")) if args.platforms else PLATFORMS
     )
-    suite = EvaluationSuite(config)
-    suite.run_grid()
+    store = None if args.no_cache else ArtifactStore(args.cache_dir)
+    suite = EvaluationSuite(config, store=store, jobs=args.jobs)
+    try:
+        suite.run_grid(platforms)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for title, table, fmt in (
-        ("Fig. 7: speedup over T4", suite.figure7(), "{:.2f}"),
-        ("Fig. 8: DRAM accesses vs T4", suite.figure8(), "{:.4f}"),
-        ("Fig. 9: bandwidth utilization", suite.figure9(), "{:.3f}"),
+        ("Fig. 7: speedup over T4", suite.figure7(platforms), "{:.2f}"),
+        ("Fig. 8: DRAM accesses vs T4", suite.figure8(platforms), "{:.4f}"),
+        ("Fig. 9: bandwidth utilization", suite.figure9(platforms), "{:.3f}"),
     ):
         rows = []
         for model in list(config.models) + ["GEOMEAN"]:
@@ -83,23 +119,65 @@ def _cmd_evaluate(args) -> int:
             for dataset in datasets:
                 cell = table[model][dataset]
                 rows.append([model, dataset]
-                            + [fmt.format(cell[p]) for p in PLATFORMS])
-        print(ascii_table(["model", "dataset"] + list(PLATFORMS), rows,
+                            + [fmt.format(cell[p]) for p in platforms])
+        print(ascii_table(["model", "dataset"] + list(platforms), rows,
                           title="\n" + title))
+    if store is not None:
+        print(f"\nartifact store: {store.root} "
+              f"({store.stats.hits} hits, {store.stats.misses} misses)")
+    return 0
+
+
+def _cmd_platforms(args) -> int:
+    from repro.analysis.report import ascii_table
+    from repro.platforms import get_platform_class, platform_names
+
+    rows = []
+    for name in platform_names():
+        cls = get_platform_class(name)
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        row = [name, doc]
+        if args.verbose:
+            row.append(f"{cls.__module__}.{cls.__qualname__}")
+        rows.append(row)
+    headers = ["platform", "description"]
+    if args.verbose:
+        headers.append("adapter")
+    print(ascii_table(headers, rows, title="Registered platforms"))
     return 0
 
 
 def _cmd_thrash(args) -> int:
+    from repro.analysis.experiments import EvaluationConfig
     from repro.analysis.report import render_histogram
     from repro.analysis.thrashing import thrashing_analysis
-    from repro.graph.datasets import load_dataset
     from repro.restructure.restructure import GraphRestructurer
+
+    try:
+        config = EvaluationConfig(
+            datasets=(args.dataset,),
+            models=(args.model,),
+            seed=args.seed,
+            scale=args.scale,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from repro.graph.datasets import load_dataset
 
     graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     restructurer = (
         GraphRestructurer(validate=False) if args.gdr else None
     )
-    profile = thrashing_analysis(graph, args.model, restructurer=restructurer)
+    # Same accelerator/model configuration as EvaluationSuite.figure2,
+    # routed through the "hihgnn" platform registry entry.
+    profile = thrashing_analysis(
+        graph,
+        args.model,
+        config=config.accelerator,
+        model_config=config.model_config,
+        restructurer=restructurer,
+    )
     label = "with GDR-HGNN" if args.gdr else "HiHGNN baseline"
     print(f"{args.dataset} / {args.model} ({label})")
     print(f"NA hit ratio      : {profile.na_hit_ratio:.1%}")
@@ -162,12 +240,13 @@ def _cmd_area(_args) -> int:
     shares = figure10_shares()
     print(f"\nGDR-HGNN: {shares['gdr_area_share']:.2%} of area, "
           f"{shares['gdr_power_share']:.2%} of power "
-          f"(paper: 2.30% / 0.46%)")
+          "(paper: 2.30% / 0.46%)")
     return 0
 
 
 _COMMANDS = {
     "evaluate": _cmd_evaluate,
+    "platforms": _cmd_platforms,
     "thrash": _cmd_thrash,
     "restructure": _cmd_restructure,
     "datasets": _cmd_datasets,

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-from repro.energy.area import fifo_area_mm2, mac_array_area_mm2, simd_area_mm2, sram_area_mm2
 from repro.energy.tech import TechNode, TSMC12
 
 __all__ = [

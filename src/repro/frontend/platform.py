@@ -1,0 +1,38 @@
+"""GDR-HGNN platform adapter: frontend + accelerator as one entry."""
+
+from __future__ import annotations
+
+from repro.accelerator.hihgnn import SimulationReport
+from repro.frontend.gdr import GDRHGNNSystem
+from repro.platforms.base import DatasetArtifacts, Platform
+from repro.platforms.registry import register_platform
+
+__all__ = ["GDRHGNNPlatform"]
+
+
+@register_platform("hihgnn+gdr")
+class GDRHGNNPlatform(Platform):
+    """HiHGNN fed by the pipelined GDR-HGNN restructuring frontend."""
+
+    def simulate(
+        self, model_name: str, artifacts: DatasetArtifacts, **kwargs
+    ) -> SimulationReport:
+        system = GDRHGNNSystem(
+            self.context.accelerator,
+            self.context.frontend,
+            self.context.model_config,
+        )
+        report = system.run(
+            artifacts.graph,
+            model_name,
+            semantic_graphs=artifacts.semantic_graphs,
+            **kwargs,
+        )
+        return self._labelled(report)
+
+    def digest_sources(self) -> tuple:
+        return (
+            self.context.accelerator,
+            self.context.frontend,
+            self.context.model_config,
+        )

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.gpu.config import GPUConfig, T4
 from repro.graph.hetero import HeteroGraph
 from repro.graph.semantic import SemanticGraph, build_semantic_graphs
@@ -148,8 +146,6 @@ class GPUSimulator:
             self._count_bulk(dram, n * raw * fb + raw * mc.embed_dim * fb)
             self._count_bulk(dram, n * mc.embed_dim * fb, write=True)
 
-        na_hits_before = 0
-        na_misses_before = 0
         for sg in semantic_graphs:
             active_src = len(sg.active_src())
             active_dst = len(sg.active_dst())

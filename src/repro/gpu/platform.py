@@ -1,0 +1,55 @@
+"""GPU platform adapters: T4 and A100 as registry entries.
+
+A GPU variant (different card, scaled bandwidth, ...) is one subclass
+with a ``gpu_config`` and one ``@register_platform`` decorator::
+
+    @register_platform("a100-2x-bw")
+    class DoubledBandwidthA100(GPUPlatform):
+        gpu_config = dataclasses.replace(A100, mem_bw_gbps=3110.0)
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.gpu.config import A100, T4, GPUConfig
+from repro.gpu.gpumodel import GPUReport, GPUSimulator
+from repro.platforms.base import DatasetArtifacts, Platform
+from repro.platforms.registry import register_platform
+
+__all__ = ["GPUPlatform", "T4Platform", "A100Platform"]
+
+
+class GPUPlatform(Platform):
+    """DGL-on-GPU roofline simulation of one card."""
+
+    gpu_config: ClassVar[GPUConfig]
+
+    def simulate(
+        self, model_name: str, artifacts: DatasetArtifacts, **kwargs
+    ) -> GPUReport:
+        simulator = GPUSimulator(self.gpu_config, self.context.model_config)
+        report = simulator.run(
+            artifacts.graph,
+            model_name,
+            semantic_graphs=artifacts.semantic_graphs,
+            **kwargs,
+        )
+        return self._labelled(report)
+
+    def digest_sources(self) -> tuple:
+        return (self.gpu_config, self.context.model_config)
+
+
+@register_platform("t4")
+class T4Platform(GPUPlatform):
+    """NVIDIA T4 running DGL (the paper's normalization baseline)."""
+
+    gpu_config = T4
+
+
+@register_platform("a100")
+class A100Platform(GPUPlatform):
+    """NVIDIA A100 running DGL."""
+
+    gpu_config = A100

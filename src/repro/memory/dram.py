@@ -18,7 +18,7 @@ channel occupancy. That matches how the paper reasons about bandwidth
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

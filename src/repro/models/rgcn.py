@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.graph.hetero import HeteroGraph
 from repro.graph.semantic import SemanticGraph
-from repro.models.base import HGNNModel, ModelConfig
+from repro.models.base import HGNNModel
 from repro.models.layers import linear, relu, segment_sum, xavier_uniform
 
 __all__ = ["RGCN"]
@@ -29,8 +29,8 @@ class RGCN(HGNNModel):
 
     def init_params(self, graph: HeteroGraph, seed: int = 0) -> dict:
         rng = np.random.default_rng(seed)
-        hidden = self.config.hidden_dim
         embed = self.config.embed_dim
+        hidden = self.config.hidden_dim
         weights = {
             str(relation): xavier_uniform(rng, embed, hidden)
             for relation in graph.relations
@@ -95,7 +95,6 @@ class RGCN(HGNNModel):
         features: dict[str, np.ndarray],
         params: dict,
     ) -> dict[str, np.ndarray]:
-        hidden = self.config.hidden_dim
         fused = {
             vtype: linear(features[vtype], params["w_self"][vtype])
             + params["bias"][vtype]

@@ -119,7 +119,6 @@ class SimpleHGN(HGNNModel):
         features: dict[str, np.ndarray],
         params: dict,
     ) -> dict[str, np.ndarray]:
-        cfg = self.config
         fused = {
             vtype: linear(features[vtype], params["w_res"][vtype])
             for vtype in graph.vertex_types

@@ -1,0 +1,44 @@
+"""Extensible execution platforms for the evaluation grid.
+
+This package decouples *what* the evaluation runs (platforms named in
+a registry) from *how* it runs (a parallel grid runner backed by a
+persistent artifact store):
+
+- :mod:`repro.platforms.base` -- the :class:`Platform` protocol
+  (``prepare`` / ``simulate``) and the shared-topology artifact type.
+- :mod:`repro.platforms.registry` -- ``@register_platform("name")``
+  and lookup helpers. The four paper platforms register from the
+  layers owning their simulators.
+- :mod:`repro.platforms.runner` -- :class:`GridRunner`, the
+  ``concurrent.futures`` executor of the platform x model x dataset
+  grid.
+- :mod:`repro.platforms.store` -- :class:`ArtifactStore`,
+  content-addressed on-disk report caching keyed by platform, model,
+  dataset, configuration digest and code version.
+"""
+
+from repro.platforms.base import DatasetArtifacts, Platform, PlatformContext
+from repro.platforms.registry import (
+    create_platform,
+    get_platform_class,
+    platform_names,
+    register_platform,
+    unregister_platform,
+)
+from repro.platforms.runner import GridRunner
+from repro.platforms.store import ArtifactStore, StoreStats, config_digest
+
+__all__ = [
+    "Platform",
+    "PlatformContext",
+    "DatasetArtifacts",
+    "register_platform",
+    "unregister_platform",
+    "create_platform",
+    "get_platform_class",
+    "platform_names",
+    "GridRunner",
+    "ArtifactStore",
+    "StoreStats",
+    "config_digest",
+]

@@ -1,0 +1,197 @@
+"""Parallel executor of the platform x model x dataset grid.
+
+The runner owns everything the old ``EvaluationSuite.run`` hard-coded:
+
+- dataset graphs and their shared :class:`DatasetArtifacts` (built once
+  per dataset, warmed, then read-only — the precondition for fanning
+  cells out across workers),
+- platform instances resolved through the registry,
+- an in-memory result memo plus an optional persistent
+  :class:`~repro.platforms.store.ArtifactStore`,
+- a ``concurrent.futures`` thread pool for ``jobs > 1``.
+
+Workers share one address space, so topology artifacts and the replay
+caches are shared rather than re-pickled per cell (a process pool
+would re-pay the dominant cost — artifact construction — in every
+worker). Simulations are deterministic pure functions of the warmed
+artifacts, so parallel runs are bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.graph.datasets import load_dataset
+from repro.graph.hetero import HeteroGraph
+from repro.platforms.base import DatasetArtifacts, Platform, PlatformContext
+from repro.platforms.registry import create_platform
+from repro.platforms.store import ArtifactStore, config_digest
+
+__all__ = ["GridRunner"]
+
+GridKey = tuple[str, str, str]
+
+
+class GridRunner:
+    """Executes grid cells through the registry, memo and store.
+
+    Args:
+        context: configuration bundle handed to every platform.
+        seed: dataset generation seed (part of the store digest).
+        scale: dataset scale factor (part of the store digest).
+        store: optional persistent report store; ``None`` keeps results
+            in memory only.
+        jobs: default worker count for :meth:`run_grid`.
+    """
+
+    def __init__(
+        self,
+        context: PlatformContext | None = None,
+        *,
+        seed: int = 1,
+        scale: float = 1.0,
+        store: ArtifactStore | None = None,
+        jobs: int = 1,
+    ) -> None:
+        self.context = context or PlatformContext()
+        self.seed = seed
+        self.scale = scale
+        self.store = store
+        self.jobs = max(1, jobs)
+        self.results: dict[GridKey, object] = {}
+        self._graphs: dict[str, HeteroGraph] = {}
+        self._artifacts: dict[str, DatasetArtifacts] = {}
+        self._platforms: dict[str, Platform] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Shared state (graphs, artifacts, platforms)
+    # ------------------------------------------------------------------
+
+    def graph(self, dataset: str) -> HeteroGraph:
+        """The (cached) generated dataset graph."""
+        if dataset not in self._graphs:
+            self._graphs[dataset] = load_dataset(
+                dataset, seed=self.seed, scale=self.scale
+            )
+        return self._graphs[dataset]
+
+    def artifacts(self, dataset: str) -> DatasetArtifacts:
+        """Warmed per-dataset topology artifacts (cached)."""
+        if dataset not in self._artifacts:
+            self._artifacts[dataset] = DatasetArtifacts.build(
+                self.graph(dataset)
+            )
+        return self._artifacts[dataset]
+
+    def platform(self, name: str) -> Platform:
+        """The (cached) platform instance for ``name``."""
+        if name not in self._platforms:
+            self._platforms[name] = create_platform(name, self.context)
+        return self._platforms[name]
+
+    def _store_key(self, platform: Platform, model: str, dataset: str) -> str:
+        digest = config_digest(
+            self.seed, self.scale, *platform.digest_sources()
+        )
+        return self.store.key_for(platform.name, model, dataset, digest)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _fill_from_store(self, cell: GridKey) -> bool:
+        """Try to satisfy one cell from the persistent store."""
+        platform_name, model, dataset = cell
+        platform = self.platform(platform_name)
+        report = self.store.load(self._store_key(platform, model, dataset))
+        if report is None:
+            return False
+        with self._lock:
+            self.results.setdefault(cell, report)
+        return True
+
+    def run_cell(
+        self,
+        platform_name: str,
+        model: str,
+        dataset: str,
+        *,
+        probe_store: bool = True,
+    ):
+        """Run (or fetch) one grid cell; memoized and store-backed."""
+        key: GridKey = (platform_name, model, dataset)
+        with self._lock:
+            if key in self.results:
+                return self.results[key]
+        if self.store is not None and probe_store and self._fill_from_store(key):
+            return self.results[key]
+        platform = self.platform(platform_name)
+        report = platform.simulate(model, self.artifacts(dataset))
+        if self.store is not None:
+            self.store.save(self._store_key(platform, model, dataset), report)
+        with self._lock:
+            return self.results.setdefault(key, report)
+
+    def run_grid(
+        self,
+        platforms: tuple[str, ...],
+        models: tuple[str, ...],
+        datasets: tuple[str, ...],
+        *,
+        jobs: int | None = None,
+    ) -> dict[GridKey, object]:
+        """Populate (and return) results for a full grid.
+
+        Store hits are resolved first (a fully warm store loads every
+        report without generating a single graph). For the remaining
+        cells the per-dataset artifacts are built before any cell runs
+        (they are the shared state; with ``jobs > 1`` distinct
+        datasets warm concurrently), then the cells fan out over a
+        thread pool.
+        Results are keyed by ``(platform, model, dataset)`` and
+        independent of completion order.
+        """
+        # Resolve every platform up front so an unknown name fails
+        # before any simulation work starts.
+        for name in platforms:
+            self.platform(name)
+        cells = list(
+            dict.fromkeys(
+                (p, m, d)
+                for p in platforms
+                for m in models
+                for d in datasets
+            )
+        )
+        jobs = self.jobs if jobs is None else max(1, jobs)
+        pending = [c for c in cells if c not in self.results]
+        if self.store is not None:
+            pending = [c for c in pending if not self._fill_from_store(c)]
+        if pending:
+            needed = [
+                d
+                for d in dict.fromkeys(d for _, _, d in pending)
+                if d not in self._artifacts
+            ]
+
+            def run(cell: GridKey):
+                return self.run_cell(*cell, probe_store=False)
+
+            if jobs > 1 and (len(pending) > 1 or len(needed) > 1):
+                # Distinct datasets are independent, so their topology
+                # artifacts warm on the pool as well (numpy releases
+                # the GIL in the sort-heavy trace work); the cells fan
+                # out only once every dataset is built and read-only.
+                if needed:
+                    with ThreadPoolExecutor(max_workers=jobs) as pool:
+                        list(pool.map(self.artifacts, needed))
+                with ThreadPoolExecutor(max_workers=jobs) as pool:
+                    list(pool.map(run, pending))
+            else:
+                for dataset in needed:
+                    self.artifacts(dataset)
+                for cell in pending:
+                    run(cell)
+        return {c: self.results[c] for c in cells}

@@ -1,0 +1,162 @@
+"""Content-addressed on-disk store for simulation reports.
+
+Every grid cell is addressed by the SHA-256 of
+``(code version, platform, model, dataset, config digest)``:
+
+- *code version* is a digest over the contents of every ``repro``
+  source file, so editing any simulator invalidates the whole store
+  without manual cache busting;
+- *config digest* covers the ``repr`` of the configuration objects the
+  platform actually reads (plus dataset seed/scale), so changing a
+  buffer size or the model width misses cleanly while unrelated
+  platforms keep their entries.
+
+Reports are pickled under ``$REPRO_ARTIFACT_DIR`` (default
+``~/.cache/repro/artifacts``), sharded by key prefix. Writes are
+atomic (temp file + ``os.replace``), so concurrent grid workers and
+repeated CLI invocations can share one store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ArtifactStore", "StoreStats", "config_digest", "code_version"]
+
+ENV_STORE_DIR = "REPRO_ARTIFACT_DIR"
+_PICKLE_PROTOCOL = 4
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package sources (cached per process)."""
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        pkg_root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            h.update(str(path.relative_to(pkg_root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+        _code_version = h.hexdigest()[:16]
+    return _code_version
+
+
+def config_digest(*sources: object) -> str:
+    """Digest of configuration objects via their canonical ``repr``.
+
+    All configuration types involved (frozen dataclasses, tuples,
+    numbers, strings) have deterministic reprs, which keeps the digest
+    stable across processes without custom serialization.
+    """
+    h = hashlib.sha256()
+    for source in sources:
+        h.update(repr(source).encode())
+        h.update(b"\0")
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/write counters of one :class:`ArtifactStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+
+class ArtifactStore:
+    """Persistent, content-addressed report cache.
+
+    Args:
+        root: store directory. Defaults to ``$REPRO_ARTIFACT_DIR`` or
+            ``~/.cache/repro/artifacts``.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get(ENV_STORE_DIR) or (
+                Path.home() / ".cache" / "repro" / "artifacts"
+            )
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+        # Grid workers call load/save concurrently; counter updates are
+        # read-modify-write and need the lock to stay exact.
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+
+    def key_for(
+        self, platform: str, model: str, dataset: str, digest: str
+    ) -> str:
+        """The content address of one grid cell's report."""
+        raw = "|".join((code_version(), platform, model, dataset, digest))
+        return hashlib.sha256(raw.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def load(self, key: str):
+        """The stored report, or ``None`` on a miss (counted)."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                report = pickle.load(fh)
+        except FileNotFoundError:
+            with self._stats_lock:
+                self.stats.misses += 1
+            return None
+        except Exception:
+            # Corrupt or unreadable entry: drop it and treat as a miss.
+            path.unlink(missing_ok=True)
+            with self._stats_lock:
+                self.stats.misses += 1
+            return None
+        with self._stats_lock:
+            self.stats.hits += 1
+        return report
+
+    def save(self, key: str, report: object) -> None:
+        """Persist one report atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(report, fh, protocol=_PICKLE_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with self._stats_lock:
+            self.stats.puts += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -47,6 +47,24 @@ class TestSuite:
         with pytest.raises(ValueError, match="unknown platform"):
             suite.run("h100", "rgcn", "acm")
 
+    def test_registered_variant_runs_through_suite(self, suite):
+        """A fifth platform is one decorator away from the whole grid."""
+        import dataclasses
+
+        from repro.gpu.config import A100
+        from repro.gpu.platform import GPUPlatform
+        from repro.platforms import register_platform, unregister_platform
+
+        @register_platform("a100-slow-hbm")
+        class SlowHBMA100(GPUPlatform):
+            gpu_config = dataclasses.replace(A100, mem_bw_gbps=320.0)
+
+        try:
+            report = suite.run("a100-slow-hbm", "rgcn", "acm")
+            assert report.time_ms >= suite.run("a100", "rgcn", "acm").time_ms
+        finally:
+            unregister_platform("a100-slow-hbm")
+
     def test_figure7_structure(self, suite):
         f7 = suite.figure7()
         assert "GEOMEAN" in f7

@@ -17,7 +17,7 @@ from repro.energy.power import (
     simd_power_mw,
     sram_power_mw,
 )
-from repro.energy.tech import TSMC12, scale_area, scale_energy
+from repro.energy.tech import scale_area, scale_energy
 from repro.frontend.config import GDRConfig
 
 MB = 1 << 20

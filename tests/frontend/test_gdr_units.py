@@ -1,8 +1,5 @@
 """Tests for the Decoupler, Recoupler and the integrated system."""
 
-import pytest
-
-from repro.accelerator.config import HiHGNNConfig
 from repro.accelerator.hihgnn import HiHGNNSimulator
 from repro.frontend.config import GDRConfig
 from repro.frontend.decoupler import Decoupler

@@ -97,7 +97,6 @@ class TestCommunity:
 
     def test_community_structure_exists(self):
         """Most edges stay within their planted block."""
-        rng_check = np.random.default_rng(5)
         src, dst = community_bipartite(
             200, 200, 1500, num_blocks=8, mixing=0.05, seed=5
         )
@@ -107,7 +106,6 @@ class TestCommunity:
         dst_block = rng.permutation(np.arange(200, dtype=np.int64) % 8)
         same = (src_block[src] == dst_block[dst]).mean()
         assert same > 0.7, f"only {same:.0%} of edges intra-block"
-        del rng_check
 
     def test_mixing_one_is_unstructured(self):
         src, dst = community_bipartite(50, 50, 300, mixing=1.0, seed=2)

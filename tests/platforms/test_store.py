@@ -1,0 +1,68 @@
+"""ArtifactStore: addressing, hit/miss/invalidations, robustness."""
+
+from repro.platforms import ArtifactStore, config_digest
+from repro.platforms.store import code_version
+
+
+class TestAddressing:
+    def test_key_distinct_per_axis(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        base = store.key_for("t4", "rgcn", "acm", "d0")
+        assert store.key_for("t4", "rgcn", "acm", "d0") == base
+        assert store.key_for("a100", "rgcn", "acm", "d0") != base
+        assert store.key_for("t4", "rgat", "acm", "d0") != base
+        assert store.key_for("t4", "rgcn", "imdb", "d0") != base
+        assert store.key_for("t4", "rgcn", "acm", "d1") != base
+
+    def test_config_digest_tracks_repr(self):
+        assert config_digest(1, 0.3, "x") == config_digest(1, 0.3, "x")
+        assert config_digest(1, 0.3, "x") != config_digest(2, 0.3, "x")
+
+    def test_code_version_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestStorage:
+    def test_miss_then_hit(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.key_for("t4", "rgcn", "acm", "d0")
+        assert store.load(key) is None
+        store.save(key, {"time_ms": 1.5})
+        assert store.load(key) == {"time_ms": 1.5}
+        assert (store.stats.hits, store.stats.misses, store.stats.puts) == (
+            1,
+            1,
+            1,
+        )
+
+    def test_persists_across_instances(self, tmp_path):
+        first = ArtifactStore(tmp_path)
+        key = first.key_for("t4", "rgcn", "acm", "d0")
+        first.save(key, [1, 2, 3])
+        second = ArtifactStore(tmp_path)
+        assert second.load(key) == [1, 2, 3]
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.key_for("t4", "rgcn", "acm", "d0")
+        store.save(key, "payload")
+        path = store._path(key)
+        path.write_bytes(b"not a pickle")
+        assert store.load(key) is None
+        assert not path.exists()
+        assert store.load(key) is None  # stays a clean miss
+
+    def test_len_and_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for model in ("rgcn", "rgat", "simple_hgn"):
+            store.save(store.key_for("t4", model, "acm", "d0"), model)
+        assert len(store) == 3
+        assert store.clear() == 3
+        assert len(store) == 0
+
+    def test_env_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "env-store"))
+        store = ArtifactStore()
+        assert store.root == tmp_path / "env-store"
+        assert store.root.is_dir()

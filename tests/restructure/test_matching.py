@@ -1,6 +1,5 @@
 """Unit tests for graph decoupling (maximum matching)."""
 
-import numpy as np
 import pytest
 
 from repro.restructure.hopcroft_karp import hopcroft_karp

@@ -14,6 +14,18 @@ class TestParser:
         args = build_parser().parse_args(["evaluate"])
         assert args.scale == 0.3
         assert args.models == "rgcn"
+        assert args.platforms is None
+        assert args.jobs == 1
+        assert args.no_cache is False
+
+    def test_evaluate_new_flags(self):
+        args = build_parser().parse_args([
+            "evaluate", "--platforms", "t4,hihgnn", "--jobs", "4",
+            "--no-cache",
+        ])
+        assert args.platforms == "t4,hihgnn"
+        assert args.jobs == 4
+        assert args.no_cache is True
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -56,8 +68,67 @@ class TestCommands:
     def test_evaluate_small(self, capsys):
         assert main([
             "evaluate", "--scale", "0.05", "--models", "rgcn",
-            "--datasets", "acm",
+            "--datasets", "acm", "--no-cache",
         ]) == 0
         out = capsys.readouterr().out
         assert "Fig. 7" in out and "Fig. 8" in out and "Fig. 9" in out
         assert "GEOMEAN" in out
+
+    def test_evaluate_platform_subset_parallel(self, capsys):
+        assert main([
+            "evaluate", "--scale", "0.05", "--models", "rgcn",
+            "--datasets", "acm", "--platforms", "t4,hihgnn",
+            "--jobs", "2", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hihgnn" in out
+        assert "a100" not in out
+        assert "hihgnn+gdr" not in out
+
+    def test_evaluate_store_warm_run(self, capsys, tmp_path):
+        argv = [
+            "evaluate", "--scale", "0.05", "--models", "rgcn",
+            "--datasets", "acm", "--platforms", "t4",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "1 misses" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "1 hits, 0 misses" in warm
+
+    def test_evaluate_unknown_dataset(self, capsys):
+        assert main([
+            "evaluate", "--scale", "0.05", "--datasets", "acme",
+            "--no-cache",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown dataset 'acme'" in err
+
+    def test_evaluate_unknown_platform(self, capsys):
+        assert main([
+            "evaluate", "--scale", "0.05", "--datasets", "acm",
+            "--platforms", "h100", "--no-cache",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown platform 'h100'" in err
+
+    def test_platforms_lists_registry(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("t4", "a100", "hihgnn", "hihgnn+gdr"):
+            assert name in out
+
+    def test_platforms_verbose_names_adapters(self, capsys):
+        assert main(["platforms", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.gpu.platform.T4Platform" in out
+        assert "repro.frontend.platform.GDRHGNNPlatform" in out
+
+    def test_thrash_unknown_model(self, capsys):
+        assert main([
+            "thrash", "--dataset", "acm", "--scale", "0.05",
+            "--model", "gcn2",
+        ]) == 2
+        assert "unknown model 'gcn2'" in capsys.readouterr().err
