@@ -2,30 +2,34 @@
 """The paper's §5 evaluation: all four platforms, all models, all datasets.
 
 Regenerates Figures 7, 8 and 9 plus the Fig. 10 area/power shares and
-the §3 L2 hit ratios. At ``--scale 1.0`` this is the full published
-configuration (takes a minute or two); smaller scales give a quick look.
+the §3 L2 hit ratios, driving the programmatic `repro.api` directly:
+an `ExperimentSpec` describes the grid, a `Session` streams typed
+`CellResult`s as they complete on the worker pool, and the figure
+tables are read off the resulting `GridResult`.
+
+At ``--scale 1.0`` this is the full published configuration (takes a
+minute or two); smaller scales give a quick look.
 
 Run:  python examples/full_evaluation.py [--scale 1.0] [--models rgcn,rgat]
 """
 
 import argparse
+import sys
 
-from repro.analysis.experiments import (
-    PLATFORMS,
-    EvaluationConfig,
-    EvaluationSuite,
-)
 from repro.analysis.report import ascii_table
+from repro.api import ExperimentSpec, Session
+from repro.energy.breakdown import figure10_shares
 
 
-def grid_to_rows(table, config, fmt="{:.2f}") -> list[list]:
+def report_to_rows(report, spec, fmt="{:.2f}") -> list[list]:
     rows = []
-    for model in list(config.models) + ["GEOMEAN"]:
-        datasets = config.datasets if model != "GEOMEAN" else ("all",)
+    for model in list(spec.models) + ["GEOMEAN"]:
+        datasets = spec.datasets if model != "GEOMEAN" else ("all",)
         for dataset in datasets:
-            cell = table[model][dataset]
+            cell = report[model][dataset]
             rows.append(
-                [model, dataset] + [fmt.format(cell[p]) for p in PLATFORMS]
+                [model, dataset]
+                + [fmt.format(cell[p]) for p in spec.platforms]
             )
     return rows
 
@@ -38,33 +42,39 @@ def main() -> None:
                         help="parallel grid workers (results are bit-identical)")
     args = parser.parse_args()
 
-    config = EvaluationConfig(
+    spec = ExperimentSpec(
         models=tuple(args.models.split(",")), scale=args.scale
     )
-    suite = EvaluationSuite(config, jobs=args.jobs)
-    suite.run_grid()
-    headers = ["model", "dataset"] + list(PLATFORMS)
+    session = Session(spec, jobs=args.jobs)
+
+    def progress(done, total, cell):
+        print(f"[{done:>2}/{total}] {cell.platform:<12} {cell.model:<10} "
+              f"{cell.dataset:<5} {cell.time_ms:10.3f} ms", file=sys.stderr)
+
+    grid = session.run(progress=progress)
+    headers = ["model", "dataset"] + list(spec.platforms)
 
     print(ascii_table(
-        headers, grid_to_rows(suite.figure7(), config),
+        headers, report_to_rows(grid.speedup(baseline="t4"), spec),
         title="\nFig. 7 -- Speedup over T4 (higher is better)",
     ))
     print(ascii_table(
-        headers, grid_to_rows(suite.figure8(), config, fmt="{:.4f}"),
+        headers,
+        report_to_rows(grid.dram_traffic(baseline="t4"), spec, fmt="{:.4f}"),
         title="\nFig. 8 -- DRAM accesses normalized to T4 (lower is better)",
     ))
     print(ascii_table(
-        headers, grid_to_rows(suite.figure9(), config, fmt="{:.3f}"),
+        headers, report_to_rows(grid.bandwidth(), spec, fmt="{:.3f}"),
         title="\nFig. 9 -- DRAM bandwidth utilization",
     ))
 
-    l2 = suite.section3_l2()
     print("\n§3 -- T4 L2 hit ratio during RGCN NA "
           "(paper: IMDB 30.1%, DBLP 17.5%):")
-    for dataset, ratio in l2.items():
-        print(f"  {dataset:5s}: {ratio:6.1%}")
+    for dataset in spec.datasets:
+        cell = session.cell("t4", "rgcn", dataset)
+        print(f"  {dataset:5s}: {cell.na_l2_hit_ratio:6.1%}")
 
-    f10 = suite.figure10()
+    f10 = figure10_shares(spec.accelerator, spec.frontend)
     print("\nFig. 10 -- GDR-HGNN share of the combined system "
           "(paper: 2.30% area / 0.46% power):")
     print(f"  area : {f10['gdr_area_mm2']:.2f} mm^2 "

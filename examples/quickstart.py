@@ -1,25 +1,24 @@
 #!/usr/bin/env python
-"""Quickstart: load a dataset, restructure a semantic graph, run a model.
+"""Quickstart: dataset -> restructuring -> a streamed mini-evaluation.
 
-Walks the three core steps of the library in under a minute:
+Walks the core of the library in under a minute, ending on the
+programmatic API (`repro.api`):
 
 1. build a synthetic heterogeneous dataset matched to the paper's
    Table 2 (here: IMDB),
 2. decouple + recouple its largest semantic graph and inspect the
    backbone partition,
-3. run RGCN over the original and the restructured subgraphs and verify
-   the outputs are identical.
+3. describe a small experiment grid as a declarative `ExperimentSpec`,
+   stream its typed `CellResult`s from a `Session` as they complete,
+   and read the speedup off the resulting `GridResult`.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro import GraphRestructurer, load_dataset
 from repro.analysis.report import ascii_table
+from repro.api import ExperimentSpec, Session
 from repro.graph import build_semantic_graphs, graph_stats
-from repro.models import get_model, make_features
-from repro.models.base import ModelConfig
 
 
 def main() -> None:
@@ -50,27 +49,30 @@ def main() -> None:
     result.validate()
     print("  invariants       : vertex cover + exact edge partition OK")
 
-    # -- 3. Model execution: original vs restructured -------------------
-    config = ModelConfig(hidden_dim=64, num_heads=4, embed_dim=16)
-    model = get_model("rgcn", config)
-    features = make_features(graph, config, seed=1)
-    params = model.init_params(graph, seed=2)
-    original = model.forward(graph, features, params)
+    # -- 3. Declarative spec -> streaming session -> typed results -----
+    spec = ExperimentSpec(
+        platforms=("t4", "hihgnn", "hihgnn+gdr"),
+        models=("rgcn",),
+        datasets=("imdb",),
+        seed=7,
+        scale=0.25,
+    )
+    print(f"\nRunning {spec.grid_size} grid cells "
+          f"({' x '.join(spec.platforms)})...")
+    session = Session(spec, jobs=2)
+    for cell in session.run_iter():  # yields as each cell completes
+        print(f"  {cell.platform:<12} {cell.time_ms:10.3f} ms   "
+              f"{cell.dram_accesses:>8} DRAM accesses")
 
-    restructurer = GraphRestructurer()
-    subgraphs = []
-    for sg in semantic_graphs:
-        subgraphs.extend(restructurer.restructure(sg).subgraphs)
-    restructured = model.forward(
-        graph, features, params, semantic_graphs=subgraphs
-    )
-    worst = max(
-        float(np.abs(original[v] - restructured[v]).max()) for v in original
-    )
-    print("\nRGCN embeddings, original vs restructured: "
-          f"max abs diff = {worst:.2e}")
-    assert worst < 1e-9
-    print("Restructuring changes the schedule, never the math. Done.")
+    grid = session.run()  # all cells are cached now: returns instantly
+    speedup = grid.speedup(baseline="t4")
+    print("\nSpeedup over T4 (imdb / rgcn):")
+    for platform in spec.platforms:
+        print(f"  {platform:<12} {speedup.geomean(platform):8.2f}x")
+
+    # Typed results round-trip losslessly through plain dicts/JSON.
+    assert type(grid).from_dict(grid.to_dict()) == grid
+    print("\nGridResult.to_dict()/from_dict() round-trip OK. Done.")
 
 
 if __name__ == "__main__":

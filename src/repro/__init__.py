@@ -22,6 +22,14 @@ DAC 2024) as a pure-Python system:
 - :mod:`repro.energy` -- area / power / energy models (12 nm).
 - :mod:`repro.analysis` -- experiment harness regenerating every table
   and figure of the paper's evaluation.
+- :mod:`repro.api` -- the stable programmatic entry point: declarative
+  :class:`~repro.api.spec.ExperimentSpec`, typed results and the
+  blocking/streaming :class:`~repro.api.session.Session`.
+
+The evaluation entry points (``ExperimentSpec``, ``Session``,
+``EvaluationSuite``, ``EvaluationConfig``, ...) are exposed lazily:
+``from repro import Session`` works, but ``import repro`` alone never
+pays for the simulator stack.
 """
 
 from repro.graph import HeteroGraph, SemanticGraph, load_dataset
@@ -34,6 +42,18 @@ from repro.restructure import (
 
 __version__ = "1.0.0"
 
+#: Attribute -> defining module for the lazily exported evaluation API.
+#: Resolved on first access via module ``__getattr__`` (PEP 562), so
+#: ``import repro`` stays cheap while ``repro.Session`` et al. work.
+_LAZY_EXPORTS = {
+    "ExperimentSpec": "repro.api.spec",
+    "Session": "repro.api.session",
+    "CellResult": "repro.api.results",
+    "GridResult": "repro.api.results",
+    "EvaluationSuite": "repro.analysis.experiments",
+    "EvaluationConfig": "repro.analysis.experiments",
+}
+
 __all__ = [
     "HeteroGraph",
     "SemanticGraph",
@@ -43,4 +63,24 @@ __all__ = [
     "decouple",
     "recouple",
     "__version__",
+    *_LAZY_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    # Cache on the module so later accesses skip __getattr__.
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

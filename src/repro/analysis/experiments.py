@@ -1,22 +1,39 @@
 """The evaluation suite: every figure and table of §5 (plus §3).
 
-:class:`EvaluationSuite` is a thin façade over the platform registry,
-the parallel :class:`~repro.platforms.runner.GridRunner` and the
-optional on-disk :class:`~repro.platforms.store.ArtifactStore`: it
-resolves platforms by name (no hard-coded platform branches), runs the
-platform x model x dataset grid — serially or on a worker pool — and
-exposes one method per paper artifact. All numbers are normalized
-exactly as the paper normalizes them (speedup and DRAM access relative
-to the T4 baseline; GEOMEAN across the model/dataset grid).
+Since the :mod:`repro.api` redesign this module is a *compatibility
+adapter*: :class:`EvaluationConfig` converts to an
+:class:`~repro.api.spec.ExperimentSpec` and :class:`EvaluationSuite`
+delegates every run to a :class:`~repro.api.session.Session`, exposing
+one method per paper artifact. All figure/table methods now return the
+typed result objects of :mod:`repro.api.results` (which keep the old
+nested-dict indexing working); new code should drive the spec/session
+API directly.
+
+All numbers are normalized exactly as the paper normalizes them
+(speedup and DRAM access relative to the T4 baseline; GEOMEAN across
+the model/dataset grid).
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.accelerator.config import HiHGNNConfig
 from repro.analysis.thrashing import ThrashingProfile, thrashing_analysis
+from repro.api.results import (
+    BandwidthReport,
+    CellResult,
+    DatasetStatRow,
+    DatasetStatsReport,
+    DramTrafficReport,
+    GridResult,
+    MetricReport,
+    SpeedupReport,
+    SystemConfigReport,
+    geomean,
+)
+from repro.api.session import Session
+from repro.api.spec import DEFAULT_PLATFORMS, ExperimentSpec
 from repro.energy.breakdown import figure10_shares
 from repro.frontend.config import GDRConfig
 from repro.graph.datasets import DATASET_SPECS
@@ -25,23 +42,14 @@ from repro.graph.semantic import SemanticGraph
 from repro.graph.stats import graph_stats
 from repro.models.base import ModelConfig
 from repro.models.workload import MODEL_REGISTRY
-from repro.platforms import ArtifactStore, GridRunner, PlatformContext
+from repro.platforms import ArtifactStore
 
 __all__ = ["EvaluationConfig", "EvaluationSuite", "geomean", "PLATFORMS"]
 
 #: The four platforms of the paper's §5 comparison, in report-column
 #: order. The full registry (including experiment-registered variants)
 #: is :func:`repro.platforms.platform_names`.
-PLATFORMS = ("t4", "a100", "hihgnn", "hihgnn+gdr")
-
-
-def geomean(values: list[float]) -> float:
-    """Geometric mean (the paper's GEOMEAN bars)."""
-    if not values:
-        raise ValueError("geomean of an empty list")
-    if any(v <= 0 for v in values):
-        raise ValueError("geomean requires positive values")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+PLATFORMS = DEFAULT_PLATFORMS
 
 
 @dataclass
@@ -53,6 +61,9 @@ class EvaluationConfig:
     names are validated eagerly, so a typo fails at construction with
     the offending entry named instead of surfacing as a ``KeyError``
     deep inside a simulation.
+
+    This predates :class:`~repro.api.spec.ExperimentSpec` (which also
+    carries the platform axis); :meth:`to_spec` converts.
     """
 
     datasets: tuple[str, ...] = ("acm", "imdb", "dblp")
@@ -77,23 +88,34 @@ class EvaluationConfig:
                     f"unknown model {model!r}; known models: {known}"
                 )
 
-    def platform_context(self) -> PlatformContext:
-        """The configuration bundle handed to platform adapters."""
-        return PlatformContext(
+    def to_spec(
+        self, platforms: tuple[str, ...] = PLATFORMS
+    ) -> ExperimentSpec:
+        """The equivalent declarative spec (adds the platform axis)."""
+        return ExperimentSpec(
+            platforms=tuple(platforms),
+            models=tuple(self.models),
+            datasets=tuple(self.datasets),
+            seed=self.seed,
+            scale=self.scale,
             accelerator=self.accelerator,
             frontend=self.frontend,
             model_config=self.model_config,
         )
 
+    def platform_context(self):
+        """The configuration bundle handed to platform adapters."""
+        return self.to_spec().context()
+
 
 class EvaluationSuite:
-    """Runs and caches the full platform x model x dataset grid.
+    """Compatibility facade over :class:`repro.api.session.Session`.
 
     Args:
         config: grid contents and fidelity.
         store: optional persistent :class:`ArtifactStore`; when given,
             repeated suite constructions (e.g. separate CLI
-            invocations) reuse each other's simulation reports.
+            invocations) reuse each other's typed cell results.
         jobs: default worker count for :meth:`run_grid`.
     """
 
@@ -105,19 +127,15 @@ class EvaluationSuite:
         jobs: int = 1,
     ) -> None:
         self.config = config or EvaluationConfig()
-        self.runner = GridRunner(
-            self.config.platform_context(),
-            seed=self.config.seed,
-            scale=self.config.scale,
-            store=store,
-            jobs=jobs,
-        )
-        # Backward-compatible view of the in-memory result memo.
-        self._results = self.runner.results
+        self.session = Session(self.config.to_spec(), store=store, jobs=jobs)
+
+    @property
+    def runner(self):
+        return self.session.runner
 
     @property
     def store(self) -> ArtifactStore | None:
-        return self.runner.store
+        return self.session.store
 
     # ------------------------------------------------------------------
     # Execution
@@ -125,7 +143,7 @@ class EvaluationSuite:
 
     def graph(self, dataset: str) -> HeteroGraph:
         """The (cached) synthetic dataset."""
-        return self.runner.graph(dataset)
+        return self.session.graph(dataset)
 
     def semantic_graphs(self, dataset: str) -> list[SemanticGraph]:
         """The (cached) SGB output of one dataset.
@@ -136,38 +154,42 @@ class EvaluationSuite:
         trace work is paid once and shared across the whole
         platform x model grid (traces are pure topology).
         """
-        return self.runner.artifacts(dataset).semantic_graphs
+        return self.session.semantic_graphs(dataset)
 
-    def run(self, platform: str, model: str, dataset: str):
+    def run(self, platform: str, model: str, dataset: str) -> CellResult:
         """Run (or fetch from cache) one cell of the grid.
 
         ``platform`` is resolved through the registry, so any
         ``@register_platform`` entry — the four paper platforms or an
         experiment-defined variant — is accepted.
         """
-        return self.runner.run_cell(platform, model, dataset)
+        return self.session.cell(platform, model, dataset)
+
+    def _spec_for(self, platforms: tuple[str, ...]) -> ExperimentSpec:
+        platforms = tuple(platforms)
+        if platforms == self.session.spec.platforms:
+            return self.session.spec
+        return self.session.spec.replace(platforms=platforms)
 
     def run_grid(
         self,
         platforms: tuple[str, ...] = PLATFORMS,
         *,
         jobs: int | None = None,
-    ) -> None:
+    ) -> GridResult:
         """Populate the cache for all requested platforms.
 
         ``jobs > 1`` fans the grid out over a worker pool; results are
         bit-identical to a serial run (simulations are deterministic
         and the shared topology artifacts are built before the fan-out).
         """
-        self.runner.run_grid(
-            platforms, self.config.models, self.config.datasets, jobs=jobs
-        )
+        return self.session.run(self._spec_for(platforms), jobs=jobs)
 
     # ------------------------------------------------------------------
     # Figures and tables
     # ------------------------------------------------------------------
 
-    def table2(self) -> list[dict]:
+    def table2(self) -> DatasetStatsReport:
         """Table 2: dataset statistics (generated vs specified)."""
         rows = []
         for dataset in self.config.datasets:
@@ -175,27 +197,33 @@ class EvaluationSuite:
             graph = self.graph(dataset)
             for vtype in graph.vertex_types:
                 rows.append(
-                    {
-                        "dataset": dataset,
-                        "vertex_type": vtype,
-                        "spec_vertices": spec.num_vertices[vtype],
-                        "vertices": graph.num_vertices(vtype),
-                        "feature_dim": graph.feature_dim(vtype),
-                        "relations": sum(
+                    DatasetStatRow(
+                        dataset=dataset,
+                        vertex_type=vtype,
+                        spec_vertices=spec.num_vertices[vtype],
+                        vertices=graph.num_vertices(vtype),
+                        feature_dim=graph.feature_dim(vtype),
+                        relations=sum(
                             1
                             for r in graph.relations
                             if r.src_type == vtype or r.dst_type == vtype
                         ),
-                    }
+                    )
                 )
-        return rows
+        return DatasetStatsReport(
+            rows=tuple(rows),
+            edges={
+                dataset: self.graph(dataset).num_edges()
+                for dataset in self.config.datasets
+            },
+        )
 
-    def table3(self) -> dict[str, dict]:
+    def table3(self) -> SystemConfigReport:
         """Table 3: platform configuration dump."""
         accel = self.config.accelerator
         front = self.config.frontend
-        return {
-            "hihgnn": {
+        return SystemConfigReport(
+            hihgnn={
                 "peak_tflops": accel.peak_tflops,
                 "clock_ghz": accel.clock_ghz,
                 "num_lanes": accel.num_lanes,
@@ -205,13 +233,13 @@ class EvaluationSuite:
                 "att_buffer_mb": accel.att_buffer_bytes / (1 << 20),
                 "hbm_gbs": accel.hbm.peak_bytes_per_cycle * accel.clock_ghz,
             },
-            "gdr-hgnn": {
+            gdr_hgnn={
                 "fifo_kb": front.fifo_bytes / 1024,
                 "matching_buffer_kb": front.matching_buffer_bytes / 1024,
                 "candidate_buffer_kb": front.candidate_buffer_bytes / 1024,
                 "adj_buffer_kb": front.adj_buffer_bytes / 1024,
             },
-        }
+        )
 
     def figure2(self, model: str = "rgcn") -> dict[str, ThrashingProfile]:
         """Fig. 2: replacement-times histograms per dataset (HiHGNN)."""
@@ -233,59 +261,49 @@ class EvaluationSuite:
             for dataset in self.config.datasets
         }
 
-    def _grid_ratio(
+    def _metric_report(
         self,
-        metric,
-        baseline_platform: str = "t4",
-        platforms: tuple[str, ...] = PLATFORMS,
-    ) -> dict:
-        """Generic Fig. 7/8 style table: metric ratio vs a baseline."""
-        table: dict[str, dict[str, dict[str, float]]] = {}
-        for model in self.config.models:
-            table[model] = {}
-            for dataset in self.config.datasets:
-                baseline = self.run(baseline_platform, model, dataset)
-                row = {}
-                for platform in platforms:
-                    result = self.run(platform, model, dataset)
-                    row[platform] = metric(result, baseline)
-                table[model][dataset] = row
-        # GEOMEAN across the whole grid, per platform.
-        table["GEOMEAN"] = {
-            "all": {
-                platform: geomean(
-                    [
-                        table[m][d][platform]
-                        for m in self.config.models
-                        for d in self.config.datasets
-                    ]
-                )
-                for platform in platforms
-            }
-        }
-        return table
+        cls: type[MetricReport],
+        platforms: tuple[str, ...],
+        baseline: str | None,
+    ) -> MetricReport:
+        """Run whatever is missing, then build one Fig. 7/8/9 table.
 
-    def figure7(self, platforms: tuple[str, ...] = PLATFORMS) -> dict:
+        The baseline platform is always executed (the paper normalizes
+        to T4 even when plotting a platform subset) but only the
+        requested ``platforms`` become columns.
+        """
+        platforms = tuple(platforms)
+        names = platforms
+        if baseline is not None and baseline not in names:
+            names = tuple(dict.fromkeys(names + (baseline,)))
+        grid = self.session.run(self._spec_for(names))
+        cells = {cell.key: cell for cell in grid.cells}
+        return cls.from_cells(
+            cells,
+            models=tuple(self.config.models),
+            datasets=tuple(self.config.datasets),
+            platforms=platforms,
+            baseline=baseline,
+        )
+
+    def figure7(
+        self, platforms: tuple[str, ...] = PLATFORMS
+    ) -> SpeedupReport:
         """Fig. 7: speedup over T4 per platform/model/dataset + GEOMEAN."""
-        return self._grid_ratio(
-            lambda result, baseline: baseline.time_ms / result.time_ms,
-            platforms=platforms,
-        )
+        return self._metric_report(SpeedupReport, platforms, "t4")
 
-    def figure8(self, platforms: tuple[str, ...] = PLATFORMS) -> dict:
+    def figure8(
+        self, platforms: tuple[str, ...] = PLATFORMS
+    ) -> DramTrafficReport:
         """Fig. 8: DRAM accesses normalized to T4 (fractions <= ~1)."""
-        return self._grid_ratio(
-            lambda result, baseline: result.dram_accesses
-            / max(baseline.dram_accesses, 1),
-            platforms=platforms,
-        )
+        return self._metric_report(DramTrafficReport, platforms, "t4")
 
-    def figure9(self, platforms: tuple[str, ...] = PLATFORMS) -> dict:
+    def figure9(
+        self, platforms: tuple[str, ...] = PLATFORMS
+    ) -> BandwidthReport:
         """Fig. 9: DRAM bandwidth utilization per platform (fractions)."""
-        return self._grid_ratio(
-            lambda result, baseline: result.bandwidth_utilization,
-            platforms=platforms,
-        )
+        return self._metric_report(BandwidthReport, platforms, None)
 
     def figure10(self) -> dict[str, float]:
         """Fig. 10: area/power shares of GDR-HGNN in the combined system."""

@@ -48,6 +48,20 @@ class BufferSweepPoint:
         """GDR / HiHGNN DRAM-access ratio at this capacity."""
         return self.gdr_dram_accesses / max(self.base_dram_accesses, 1)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (derived ratios included)."""
+        return {
+            "na_buffer_mb": self.na_buffer_mb,
+            "base_time_ms": self.base_time_ms,
+            "gdr_time_ms": self.gdr_time_ms,
+            "base_na_hit": self.base_na_hit,
+            "gdr_na_hit": self.gdr_na_hit,
+            "base_dram_accesses": self.base_dram_accesses,
+            "gdr_dram_accesses": self.gdr_dram_accesses,
+            "speedup": self.speedup,
+            "access_ratio": self.access_ratio,
+        }
+
 
 def buffer_sensitivity(
     graph: HeteroGraph,
@@ -56,6 +70,7 @@ def buffer_sensitivity(
     buffer_mbs: tuple[float, ...] = (2.0, 4.0, 8.0, 14.52, 24.0),
     base_config: HiHGNNConfig | None = None,
     model_config: ModelConfig | None = None,
+    artifacts: DatasetArtifacts | None = None,
 ) -> list[BufferSweepPoint]:
     """Sweep the NA buffer size; compare HiHGNN with and without GDR.
 
@@ -70,12 +85,16 @@ def buffer_sensitivity(
         base_config: template accelerator config (buffer size is
             overridden per point).
         model_config: model hyper-parameters.
+        artifacts: pre-warmed topology artifacts (e.g. a session's
+            ``runner.artifacts(dataset)``) to share with other
+            experiments; built once here when omitted.
 
     Returns:
         One :class:`BufferSweepPoint` per capacity, in input order.
     """
     template = base_config or HiHGNNConfig()
-    artifacts = DatasetArtifacts.build(graph)
+    if artifacts is None:
+        artifacts = DatasetArtifacts.build(graph)
     points = []
     for capacity_mb in buffer_mbs:
         context = PlatformContext(

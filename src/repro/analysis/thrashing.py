@@ -52,6 +52,16 @@ class ThrashingProfile:
         """Percent of DRAM accesses made by replaced vertices."""
         return sum(b["access_ratio"] for b in self.histogram.values())
 
+    def as_report(
+        self, *, platform: str = "hihgnn", restructured: bool = False
+    ):
+        """The typed, serializable :class:`repro.api.results.ThrashingReport`."""
+        from repro.api.results import ThrashingReport
+
+        return ThrashingReport.from_profile(
+            self, platform=platform, restructured=restructured
+        )
+
 
 def thrashing_analysis(
     graph: HeteroGraph,

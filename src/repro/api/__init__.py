@@ -1,0 +1,72 @@
+"""Public programmatic API: declarative specs, typed results, sessions.
+
+This package is the stable entry point for driving the reproduction
+from other programs. It separates *describing* an experiment from
+*executing* it, the way mature simulator frontends do:
+
+- :class:`~repro.api.spec.ExperimentSpec` — a declarative, validated,
+  serializable description of the platform x model x dataset grid.
+- :class:`~repro.api.session.Session` — executes specs (blocking
+  :meth:`~repro.api.session.Session.run` or streaming
+  :meth:`~repro.api.session.Session.run_iter`) over the platform
+  registry, the parallel grid runner and the on-disk artifact store.
+- :mod:`repro.api.results` — typed, schema-versioned result objects
+  (:class:`~repro.api.results.CellResult`,
+  :class:`~repro.api.results.GridResult`, the Fig. 7/8/9 metric
+  reports, …) that round-trip through ``to_dict()`` / ``from_dict()``.
+
+Quick tour::
+
+    from repro.api import ExperimentSpec, Session
+
+    spec = ExperimentSpec(platforms=("t4", "hihgnn+gdr"),
+                          models=("rgcn",), datasets=("imdb",),
+                          scale=0.3)
+    session = Session(spec, jobs=4)
+    for cell in session.run_iter():          # streams as-completed
+        print(cell.platform, cell.time_ms)
+    grid = session.run()                     # complete, ordered
+    print(grid.speedup(baseline="t4").geomean("hihgnn+gdr"))
+"""
+
+from repro.api.results import (
+    RESULT_SCHEMA_VERSION,
+    AreaReport,
+    BandwidthReport,
+    CellResult,
+    DatasetStatsReport,
+    DramTrafficReport,
+    GridResult,
+    MetricReport,
+    RestructureReport,
+    SchemaMismatchError,
+    SpeedupReport,
+    SystemConfigReport,
+    ThrashingReport,
+    geomean,
+    metric_report_from_dict,
+)
+from repro.api.session import Session
+from repro.api.spec import DEFAULT_PLATFORMS, SPEC_SCHEMA_VERSION, ExperimentSpec
+
+__all__ = [
+    "ExperimentSpec",
+    "Session",
+    "CellResult",
+    "GridResult",
+    "MetricReport",
+    "SpeedupReport",
+    "DramTrafficReport",
+    "BandwidthReport",
+    "ThrashingReport",
+    "DatasetStatsReport",
+    "SystemConfigReport",
+    "AreaReport",
+    "RestructureReport",
+    "SchemaMismatchError",
+    "geomean",
+    "metric_report_from_dict",
+    "DEFAULT_PLATFORMS",
+    "RESULT_SCHEMA_VERSION",
+    "SPEC_SCHEMA_VERSION",
+]

@@ -1,0 +1,287 @@
+"""The execution facade: specs in, typed results out.
+
+A :class:`Session` owns everything that makes repeated experiments
+cheap — the parallel :class:`~repro.platforms.runner.GridRunner` with
+its per-dataset topology caches, and an optional persistent
+:class:`~repro.platforms.store.ArtifactStore` of schema-versioned
+:class:`~repro.api.results.CellResult` payloads — and exposes two ways
+to execute an :class:`~repro.api.spec.ExperimentSpec`:
+
+- :meth:`Session.run` blocks and returns a complete
+  :class:`~repro.api.results.GridResult` in the spec's canonical cell
+  order (deterministic regardless of worker count).
+- :meth:`Session.run_iter` is a generator yielding each
+  :class:`~repro.api.results.CellResult` *as it completes* on the
+  worker pool, so dashboards and long sweeps consume results
+  incrementally instead of waiting for the slowest cell.
+
+One session serves many specs: per-(seed, scale, configuration)
+workspaces keep dataset graphs, semantic-graph artifacts and result
+memos isolated, while specs differing only in grid axes share them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.api.results import RESULT_SCHEMA_VERSION, CellResult, GridResult
+from repro.api.spec import ExperimentSpec, GridKey
+from repro.graph.hetero import HeteroGraph
+from repro.graph.semantic import SemanticGraph
+from repro.platforms.runner import GridRunner
+from repro.platforms.store import ArtifactStore, config_digest
+
+__all__ = ["Session", "ProgressCallback"]
+
+#: ``progress(done, total, result)`` — invoked after every completed
+#: cell (store hits included), with ``done`` counting from 1.
+ProgressCallback = Callable[[int, int, CellResult], None]
+
+#: Store schema tag of persisted cell results. The tag participates in
+#: both the content address and the store envelope, so bumping
+#: RESULT_SCHEMA_VERSION makes every stale entry an automatic miss.
+_CELL_SCHEMA = ("cell-result", RESULT_SCHEMA_VERSION)
+
+
+@dataclass
+class _Workspace:
+    """Caches of one (seed, scale, platform-configuration) universe."""
+
+    runner: GridRunner
+    cells: dict[GridKey, CellResult] = field(default_factory=dict)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class Session:
+    """Runs experiment specs and caches their typed results.
+
+    Args:
+        spec: default spec for calls that omit one.
+        store: optional persistent artifact store; when given, results
+            survive the process and later sessions (or concurrent CLI
+            invocations) are warm.
+        jobs: default worker count for grid fan-out (1 = serial).
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec | None = None,
+        *,
+        store: ArtifactStore | None = None,
+        jobs: int = 1,
+    ) -> None:
+        self.spec = spec if spec is not None else ExperimentSpec()
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        self._workspaces: dict[object, _Workspace] = {}
+        self._workspaces_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Workspaces and shared artifacts
+    # ------------------------------------------------------------------
+
+    def _workspace(self, spec: ExperimentSpec) -> _Workspace:
+        key = (spec.seed, spec.scale, spec.context())
+        with self._workspaces_lock:
+            workspace = self._workspaces.get(key)
+            if workspace is None:
+                workspace = _Workspace(
+                    runner=GridRunner(
+                        spec.context(),
+                        seed=spec.seed,
+                        scale=spec.scale,
+                        jobs=self.jobs,
+                    )
+                )
+                self._workspaces[key] = workspace
+        return workspace
+
+    @property
+    def runner(self) -> GridRunner:
+        """The default spec's grid runner (shared topology caches)."""
+        return self._workspace(self.spec).runner
+
+    def graph(self, dataset: str, *, spec: ExperimentSpec | None = None) -> HeteroGraph:
+        """The (cached) generated dataset graph."""
+        return self._workspace(spec or self.spec).runner.graph(dataset)
+
+    def semantic_graphs(
+        self, dataset: str, *, spec: ExperimentSpec | None = None
+    ) -> list[SemanticGraph]:
+        """The (cached) warmed SGB output of one dataset."""
+        workspace = self._workspace(spec or self.spec)
+        return workspace.runner.artifacts(dataset).semantic_graphs
+
+    # ------------------------------------------------------------------
+    # Store plumbing (typed, schema-versioned payloads)
+    # ------------------------------------------------------------------
+
+    def _cell_store_key(
+        self, workspace: _Workspace, spec: ExperimentSpec, key: GridKey
+    ) -> str:
+        platform_name, model, dataset = key
+        platform = workspace.runner.platform(platform_name)
+        digest = config_digest(
+            spec.seed, spec.scale, *platform.digest_sources(), _CELL_SCHEMA
+        )
+        return self.store.key_for(platform_name, model, dataset, digest)
+
+    def _peek(
+        self, workspace: _Workspace, spec: ExperimentSpec, key: GridKey
+    ) -> CellResult | None:
+        """Memo or store lookup; never simulates."""
+        with workspace.lock:
+            cached = workspace.cells.get(key)
+        if cached is not None:
+            return cached
+        if self.store is None:
+            return None
+        payload = self.store.load(
+            self._cell_store_key(workspace, spec, key), schema=_CELL_SCHEMA
+        )
+        if payload is None:
+            return None
+        result = CellResult.from_dict(payload)
+        with workspace.lock:
+            return workspace.cells.setdefault(key, result)
+
+    def _compute(
+        self, workspace: _Workspace, spec: ExperimentSpec, key: GridKey
+    ) -> CellResult:
+        """Simulate one cell, persist and memoize its typed result."""
+        report = workspace.runner.run_cell(*key, probe_store=False)
+        # Re-key on the grid coordinate: reports label themselves with
+        # self-describing names (e.g. dataset "acm@0.05", model alias
+        # normalization) that must not leak into cell identity.
+        result = dataclasses.replace(
+            CellResult.from_report(report),
+            platform=key[0],
+            model=key[1],
+            dataset=key[2],
+        )
+        if self.store is not None:
+            self.store.save(
+                self._cell_store_key(workspace, spec, key),
+                result.to_dict(),
+                schema=_CELL_SCHEMA,
+            )
+        with workspace.lock:
+            return workspace.cells.setdefault(key, result)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def cell(
+        self,
+        platform: str,
+        model: str,
+        dataset: str,
+        *,
+        spec: ExperimentSpec | None = None,
+    ) -> CellResult:
+        """Run (or fetch) one grid cell by coordinate.
+
+        ``platform`` is resolved through the registry, so any
+        ``@register_platform`` entry is accepted — the cell does not
+        have to appear in the spec's own grid.
+        """
+        spec = self.spec if spec is None else spec
+        workspace = self._workspace(spec)
+        key: GridKey = (platform, model, dataset)
+        result = self._peek(workspace, spec, key)
+        if result is None:
+            result = self._compute(workspace, spec, key)
+        return result
+
+    def run_iter(
+        self,
+        spec: ExperimentSpec | None = None,
+        *,
+        jobs: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> Iterator[CellResult]:
+        """Yield every grid cell exactly once, as each one completes.
+
+        Cached cells (session memo or store hits) are yielded first —
+        without generating a single graph — then the remaining cells
+        fan out over a thread pool and stream back in completion
+        order. The union of yielded cells always equals
+        ``spec.cells()``; only the order varies with ``jobs``.
+        """
+        spec = self.spec if spec is None else spec
+        workspace = self._workspace(spec)
+        # Resolve every platform up front so an unknown name fails
+        # before any simulation work starts.
+        for name in spec.platforms:
+            workspace.runner.platform(name)
+        cells = list(spec.cells())
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        total = len(cells)
+        done = 0
+
+        def emit(result: CellResult) -> CellResult:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(done, total, result)
+            return result
+
+        pending: list[GridKey] = []
+        for key in cells:
+            result = self._peek(workspace, spec, key)
+            if result is None:
+                pending.append(key)
+            else:
+                yield emit(result)
+        if not pending:
+            return
+        # Topology artifacts are the state shared across workers: warm
+        # them before the fan-out so parallel runs stay bit-identical
+        # to serial ones (distinct datasets warm concurrently).
+        workspace.runner.warm_artifacts(
+            [dataset for _, _, dataset in pending], jobs=jobs
+        )
+        if jobs > 1 and len(pending) > 1:
+            pool = ThreadPoolExecutor(max_workers=jobs)
+            try:
+                futures = [
+                    pool.submit(self._compute, workspace, spec, key)
+                    for key in pending
+                ]
+                for future in as_completed(futures):
+                    yield emit(future.result())
+            finally:
+                # An abandoned generator (consumer breaks early) must
+                # not simulate the rest of the grid: drop queued cells
+                # and wait only for the ones already in flight.
+                pool.shutdown(wait=True, cancel_futures=True)
+        else:
+            for key in pending:
+                yield emit(self._compute(workspace, spec, key))
+
+    def run(
+        self,
+        spec: ExperimentSpec | None = None,
+        *,
+        jobs: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> GridResult:
+        """Execute the whole grid and return it in canonical order.
+
+        The result is independent of worker count and completion
+        order: cells are sorted back into ``spec.cells()`` order, and
+        ``GridResult.from_dict(result.to_dict())`` round-trips
+        bit-identically.
+        """
+        spec = self.spec if spec is None else spec
+        collected: dict[GridKey, CellResult] = {}
+        for result in self.run_iter(spec, jobs=jobs, progress=progress):
+            collected[result.key] = result
+        return GridResult(
+            spec=spec, cells=tuple(collected[key] for key in spec.cells())
+        )

@@ -1,0 +1,186 @@
+"""Declarative experiment specification.
+
+An :class:`ExperimentSpec` is the single description of *what* to run:
+the platform x model x dataset grid plus the knobs that change its
+numbers (seed, scale, accelerator / frontend / model configuration).
+It is validated eagerly against the platform registry, the dataset
+catalog and the model registry, so a typo fails at construction — not
+three minutes into a simulation — and it round-trips losslessly
+through ``to_dict()`` / ``from_dict()`` (plain JSON-serializable
+types), so specs can be stored in files, sent over the wire and
+compared for equality.
+
+Execution lives elsewhere: hand a spec to
+:class:`repro.api.session.Session` to obtain typed results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.accelerator.config import HiHGNNConfig
+from repro.api.results import SchemaMismatchError
+from repro.frontend.config import GDRConfig
+from repro.graph.datasets import DATASET_SPECS
+from repro.memory.dram import HBMConfig
+from repro.models.base import ModelConfig
+from repro.models.workload import MODEL_REGISTRY
+from repro.platforms.base import PlatformContext
+
+__all__ = ["ExperimentSpec", "DEFAULT_PLATFORMS", "SPEC_SCHEMA_VERSION"]
+
+#: Version stamp embedded in every serialized spec. Bump on any change
+#: to the dict layout so stale payloads are rejected instead of being
+#: silently misread.
+SPEC_SCHEMA_VERSION = 1
+
+#: The four platforms of the paper's §5 comparison, in report-column
+#: order (any ``@register_platform`` name is equally valid in a spec).
+DEFAULT_PLATFORMS = ("t4", "a100", "hihgnn", "hihgnn+gdr")
+
+GridKey = tuple[str, str, str]
+
+
+def _as_tuple(value) -> tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """What to run and at what fidelity — nothing about *how* to run it.
+
+    Attributes:
+        platforms: registry names of the execution targets (columns).
+        models: HGNN model names (case-insensitive, ``-``/``_`` alias).
+        datasets: synthetic dataset names from the Table 2 catalog.
+        seed: dataset generation seed.
+        scale: dataset scale factor; ``1.0`` is the published size,
+            smaller values shrink every vertex set for quick runs.
+        accelerator: HiHGNN architectural parameters (Table 3).
+        frontend: GDR-HGNN frontend parameters (Table 3).
+        model_config: model hyper-parameters shared by all models.
+    """
+
+    platforms: tuple[str, ...] = DEFAULT_PLATFORMS
+    models: tuple[str, ...] = ("rgcn", "rgat", "simple_hgn")
+    datasets: tuple[str, ...] = ("acm", "imdb", "dblp")
+    seed: int = 1
+    scale: float = 1.0
+    accelerator: HiHGNNConfig = field(default_factory=HiHGNNConfig)
+    frontend: GDRConfig = field(default_factory=GDRConfig)
+    model_config: ModelConfig = field(default_factory=ModelConfig)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "platforms", _as_tuple(self.platforms))
+        object.__setattr__(self, "models", _as_tuple(self.models))
+        object.__setattr__(self, "datasets", _as_tuple(self.datasets))
+        object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(self, "seed", int(self.seed))
+        for axis in ("platforms", "models", "datasets"):
+            if not getattr(self, axis):
+                raise ValueError(f"spec {axis} must not be empty")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        for dataset in self.datasets:
+            if dataset not in DATASET_SPECS:
+                known = ", ".join(sorted(DATASET_SPECS))
+                raise ValueError(
+                    f"unknown dataset {dataset!r}; known datasets: {known}"
+                )
+        for model in self.models:
+            if model.lower().replace("-", "_") not in MODEL_REGISTRY:
+                known = ", ".join(sorted(MODEL_REGISTRY))
+                raise ValueError(
+                    f"unknown model {model!r}; known models: {known}"
+                )
+        # Resolving through the registry accepts experiment-registered
+        # variants, not just the four paper platforms.
+        from repro.platforms.registry import get_platform_class
+
+        for platform in self.platforms:
+            get_platform_class(platform)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def context(self) -> PlatformContext:
+        """The configuration bundle handed to platform adapters."""
+        return PlatformContext(
+            accelerator=self.accelerator,
+            frontend=self.frontend,
+            model_config=self.model_config,
+        )
+
+    def cells(self) -> Iterator[GridKey]:
+        """Grid cells in canonical order (platform-major, deduplicated)."""
+        return iter(
+            dict.fromkeys(
+                (p, m, d)
+                for p in self.platforms
+                for m in self.models
+                for d in self.datasets
+            )
+        )
+
+    @property
+    def grid_size(self) -> int:
+        """Number of distinct grid cells this spec describes."""
+        return sum(1 for _ in self.cells())
+
+    def replace(self, **overrides) -> "ExperimentSpec":
+        """A copy with fields overridden (re-validated eagerly)."""
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "platforms": list(self.platforms),
+            "models": list(self.models),
+            "datasets": list(self.datasets),
+            "seed": self.seed,
+            "scale": self.scale,
+            "accelerator": dataclasses.asdict(self.accelerator),
+            "frontend": dataclasses.asdict(self.frontend),
+            "model_config": dataclasses.asdict(self.model_config),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ExperimentSpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_dict` output."""
+        if not isinstance(payload, dict):
+            raise SchemaMismatchError(
+                f"spec payload must be a dict, got {type(payload).__name__}"
+            )
+        version = payload.get("schema_version")
+        if version != SPEC_SCHEMA_VERSION:
+            raise SchemaMismatchError(
+                f"spec schema_version mismatch: payload has {version!r}, "
+                f"this library reads {SPEC_SCHEMA_VERSION}"
+            )
+        kwargs: dict[str, Any] = {}
+        for axis in ("platforms", "models", "datasets"):
+            if axis in payload:
+                kwargs[axis] = tuple(payload[axis])
+        for scalar in ("seed", "scale"):
+            if scalar in payload:
+                kwargs[scalar] = payload[scalar]
+        if "accelerator" in payload:
+            accel = dict(payload["accelerator"])
+            if "hbm" in accel:
+                accel["hbm"] = HBMConfig(**accel["hbm"])
+            kwargs["accelerator"] = HiHGNNConfig(**accel)
+        if "frontend" in payload:
+            kwargs["frontend"] = GDRConfig(**payload["frontend"])
+        if "model_config" in payload:
+            kwargs["model_config"] = ModelConfig(**payload["model_config"])
+        return cls(**kwargs)

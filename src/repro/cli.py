@@ -10,18 +10,36 @@ Commands:
 - ``datasets``  -- print Table 2 style dataset statistics.
 - ``area``      -- print the Fig. 10 area/power breakdown.
 
-``evaluate`` runs through the platform registry and the parallel grid
-runner (``--platforms``, ``--jobs``) and persists simulation reports in
-the on-disk artifact store (``$REPRO_ARTIFACT_DIR``, disable with
-``--no-cache``), so repeated invocations are warm-cache.
+Every command accepts ``--format {table,json}``. JSON output is the
+``to_dict()`` form of the typed result objects in
+:mod:`repro.api.results` (schema-versioned, deterministic key order),
+so other programs can consume exactly what the library computes.
+
+``evaluate`` is built on :class:`repro.api.session.Session`: it turns
+the flags into a declarative :class:`repro.api.spec.ExperimentSpec`,
+streams cells over a worker pool (``--platforms``, ``--jobs``) and
+persists typed cell results in the on-disk artifact store
+(``$REPRO_ARTIFACT_DIR``, disable with ``--no-cache``), so repeated
+invocations are warm-cache — a warm ``--format json`` run is
+byte-identical to the cold run that filled the store.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_format(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format: human tables or typed-result JSON",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,12 +66,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="artifact store directory "
                                "(default: $REPRO_ARTIFACT_DIR or "
                                "~/.cache/repro/artifacts)")
+    evaluate.add_argument("--progress", action="store_true",
+                          help="stream per-cell progress to stderr as "
+                               "results complete")
+    _add_format(evaluate)
 
     platforms = sub.add_parser(
         "platforms", help="list registered execution platforms"
     )
     platforms.add_argument("-v", "--verbose", action="store_true",
                            help="include the adapter class and module")
+    _add_format(platforms)
 
     thrash = sub.add_parser("thrash", help="Fig. 2 replacement histograms")
     thrash.add_argument("--scale", type=float, default=0.3)
@@ -62,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     thrash.add_argument("--seed", type=int, default=1)
     thrash.add_argument("--gdr", action="store_true",
                         help="profile the restructured execution instead")
+    _add_format(thrash)
 
     restructure = sub.add_parser(
         "restructure", help="restructure one dataset's semantic graphs"
@@ -70,26 +94,42 @@ def build_parser() -> argparse.ArgumentParser:
     restructure.add_argument("--scale", type=float, default=0.3)
     restructure.add_argument("--seed", type=int, default=1)
     restructure.add_argument("--depth", type=int, default=0)
+    _add_format(restructure)
 
     datasets = sub.add_parser("datasets", help="Table 2 statistics")
     datasets.add_argument("--scale", type=float, default=1.0)
     datasets.add_argument("--seed", type=int, default=1)
+    _add_format(datasets)
 
-    sub.add_parser("area", help="Fig. 10 area/power breakdown")
+    area = sub.add_parser("area", help="Fig. 10 area/power breakdown")
+    _add_format(area)
     return parser
 
 
+def _emit_json(payload) -> int:
+    """Print one deterministic JSON document (typed-result dict form)."""
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_evaluate(args) -> int:
-    from repro.analysis.experiments import (
-        PLATFORMS,
-        EvaluationConfig,
-        EvaluationSuite,
+    from repro.api import ExperimentSpec, Session
+    from repro.api.results import (
+        BandwidthReport,
+        DramTrafficReport,
+        SpeedupReport,
     )
     from repro.analysis.report import ascii_table
     from repro.platforms import ArtifactStore
 
+    requested = (
+        tuple(args.platforms.split(","))
+        if args.platforms
+        else ExperimentSpec().platforms
+    )
     try:
-        config = EvaluationConfig(
+        spec = ExperimentSpec(
+            platforms=requested,
             datasets=tuple(args.datasets.split(",")),
             models=tuple(args.models.split(",")),
             seed=args.seed,
@@ -98,29 +138,74 @@ def _cmd_evaluate(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    platforms = (
-        tuple(args.platforms.split(",")) if args.platforms else PLATFORMS
-    )
     store = None if args.no_cache else ArtifactStore(args.cache_dir)
-    suite = EvaluationSuite(config, store=store, jobs=args.jobs)
-    try:
-        suite.run_grid(platforms)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    for title, table, fmt in (
-        ("Fig. 7: speedup over T4", suite.figure7(platforms), "{:.2f}"),
-        ("Fig. 8: DRAM accesses vs T4", suite.figure8(platforms), "{:.4f}"),
-        ("Fig. 9: bandwidth utilization", suite.figure9(platforms), "{:.3f}"),
+    session = Session(spec, store=store, jobs=args.jobs)
+
+    progress = None
+    if args.progress:
+        def progress(done, total, cell):
+            print(
+                f"[{done}/{total}] {cell.platform} x {cell.model} x "
+                f"{cell.dataset}: {cell.time_ms:.3f} ms",
+                file=sys.stderr,
+            )
+
+    # The paper normalizes to T4 even when plotting a platform subset:
+    # run the baseline alongside, but only report requested columns.
+    run_spec = spec
+    if "t4" not in spec.platforms:
+        run_spec = spec.replace(
+            platforms=tuple(dict.fromkeys(spec.platforms + ("t4",)))
+        )
+    grid_full = session.run(run_spec, progress=progress)
+    grid = (
+        grid_full
+        if run_spec is spec
+        else grid_full.subset(platforms=spec.platforms)
+    )
+    cells = {cell.key: cell for cell in grid_full.cells}
+    reports = {
+        cls.kind: cls.from_cells(
+            cells,
+            models=spec.models,
+            datasets=spec.datasets,
+            platforms=spec.platforms,
+            baseline=baseline,
+        )
+        for cls, baseline in (
+            (SpeedupReport, "t4"),
+            (DramTrafficReport, "t4"),
+            (BandwidthReport, None),
+        )
+    }
+
+    if args.format == "json":
+        # No store statistics here: the document is a pure function of
+        # the spec, so warm reruns are byte-identical to cold ones.
+        return _emit_json(
+            {
+                "grid": grid.to_dict(),
+                "reports": {
+                    kind: report.to_dict()
+                    for kind, report in reports.items()
+                },
+            }
+        )
+
+    for title, report, fmt in (
+        ("Fig. 7: speedup over T4", reports["speedup"], "{:.2f}"),
+        ("Fig. 8: DRAM accesses vs T4", reports["dram_accesses"], "{:.4f}"),
+        ("Fig. 9: bandwidth utilization",
+         reports["bandwidth_utilization"], "{:.3f}"),
     ):
         rows = []
-        for model in list(config.models) + ["GEOMEAN"]:
-            datasets = config.datasets if model != "GEOMEAN" else ("all",)
+        for model in list(spec.models) + ["GEOMEAN"]:
+            datasets = spec.datasets if model != "GEOMEAN" else ("all",)
             for dataset in datasets:
-                cell = table[model][dataset]
+                cell = report[model][dataset]
                 rows.append([model, dataset]
-                            + [fmt.format(cell[p]) for p in platforms])
-        print(ascii_table(["model", "dataset"] + list(platforms), rows,
+                            + [fmt.format(cell[p]) for p in spec.platforms])
+        print(ascii_table(["model", "dataset"] + list(spec.platforms), rows,
                           title="\n" + title))
     if store is not None:
         print(f"\nartifact store: {store.root} "
@@ -132,13 +217,24 @@ def _cmd_platforms(args) -> int:
     from repro.analysis.report import ascii_table
     from repro.platforms import get_platform_class, platform_names
 
-    rows = []
+    entries = []
     for name in platform_names():
         cls = get_platform_class(name)
         doc = (cls.__doc__ or "").strip().splitlines()[0]
-        row = [name, doc]
+        entries.append(
+            {
+                "name": name,
+                "description": doc,
+                "adapter": f"{cls.__module__}.{cls.__qualname__}",
+            }
+        )
+    if args.format == "json":
+        return _emit_json({"platforms": entries})
+    rows = []
+    for entry in entries:
+        row = [entry["name"], entry["description"]]
         if args.verbose:
-            row.append(f"{cls.__module__}.{cls.__qualname__}")
+            row.append(entry["adapter"])
         rows.append(row)
     headers = ["platform", "description"]
     if args.verbose:
@@ -148,13 +244,15 @@ def _cmd_platforms(args) -> int:
 
 
 def _cmd_thrash(args) -> int:
-    from repro.analysis.experiments import EvaluationConfig
     from repro.analysis.report import render_histogram
     from repro.analysis.thrashing import thrashing_analysis
+    from repro.api import ExperimentSpec
+    from repro.graph.datasets import load_dataset
     from repro.restructure.restructure import GraphRestructurer
 
     try:
-        config = EvaluationConfig(
+        spec = ExperimentSpec(
+            platforms=("hihgnn",),
             datasets=(args.dataset,),
             models=(args.model,),
             seed=args.seed,
@@ -163,7 +261,6 @@ def _cmd_thrash(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    from repro.graph.datasets import load_dataset
 
     graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     restructurer = (
@@ -174,10 +271,14 @@ def _cmd_thrash(args) -> int:
     profile = thrashing_analysis(
         graph,
         args.model,
-        config=config.accelerator,
-        model_config=config.model_config,
+        config=spec.accelerator,
+        model_config=spec.model_config,
         restructurer=restructurer,
     )
+    if args.format == "json":
+        return _emit_json(
+            profile.as_report(restructured=args.gdr).to_dict()
+        )
     label = "with GDR-HGNN" if args.gdr else "HiHGNN baseline"
     print(f"{args.dataset} / {args.model} ({label})")
     print(f"NA hit ratio      : {profile.na_hit_ratio:.1%}")
@@ -189,6 +290,7 @@ def _cmd_thrash(args) -> int:
 
 def _cmd_restructure(args) -> int:
     from repro.analysis.report import ascii_table
+    from repro.api.results import RestructureRelationRow, RestructureReport
     from repro.graph.datasets import load_dataset
     from repro.graph.semantic import build_semantic_graphs
     from repro.restructure.restructure import GraphRestructurer
@@ -198,46 +300,82 @@ def _cmd_restructure(args) -> int:
     rows = []
     for sg in build_semantic_graphs(graph):
         result = restructurer.restructure(sg)
-        rows.append([
-            str(sg.relation), sg.num_edges, result.matching.size,
-            result.backbone_size,
-            "/".join(str(sub.num_edges) for sub in result.subgraphs),
-            len(result.leaves()),
-        ])
+        rows.append(
+            RestructureRelationRow(
+                relation=str(sg.relation),
+                edges=int(sg.num_edges),
+                matching=int(result.matching.size),
+                backbone=int(result.backbone_size),
+                subgraph_edges=tuple(
+                    int(sub.num_edges) for sub in result.subgraphs
+                ),
+                leaves=len(result.leaves()),
+            )
+        )
+    report = RestructureReport(dataset=graph.name, rows=tuple(rows))
+    if args.format == "json":
+        return _emit_json(report.to_dict())
     print(ascii_table(
         ["relation", "edges", "matching", "backbone",
          "subgraph edges", "leaves"],
-        rows, title=f"Restructuring {graph.name}",
+        [
+            [row.relation, row.edges, row.matching, row.backbone,
+             "/".join(str(e) for e in row.subgraph_edges), row.leaves]
+            for row in report.rows
+        ],
+        title=f"Restructuring {graph.name}",
     ))
     return 0
 
 
 def _cmd_datasets(args) -> int:
     from repro.analysis.report import ascii_table
+    from repro.api.results import DatasetStatRow, DatasetStatsReport
     from repro.graph.datasets import DATASET_SPECS, load_dataset
 
     rows = []
+    edges = {}
     for name in sorted(DATASET_SPECS):
         graph = load_dataset(name, seed=args.seed, scale=args.scale)
         for vtype in graph.vertex_types:
-            rows.append([name, vtype, graph.num_vertices(vtype),
-                         graph.feature_dim(vtype) or "-"])
-        rows.append([name, "(edges)", graph.num_edges(), "-"])
+            rows.append(
+                DatasetStatRow(
+                    dataset=name,
+                    vertex_type=vtype,
+                    vertices=graph.num_vertices(vtype),
+                    # 0 = featureless type (real information, kept in
+                    # JSON); the table renderer shows it as "-".
+                    feature_dim=graph.feature_dim(vtype),
+                )
+            )
+        edges[name] = graph.num_edges()
+    report = DatasetStatsReport(rows=tuple(rows), edges=edges)
+    if args.format == "json":
+        return _emit_json(report.to_dict())
+    table_rows = []
+    for name in sorted(edges):
+        for row in report:
+            if row.dataset == name:
+                table_rows.append([row.dataset, row.vertex_type,
+                                   row.vertices, row.feature_dim or "-"])
+        table_rows.append([name, "(edges)", edges[name], "-"])
     print(ascii_table(["dataset", "vertex type", "count", "feat dim"],
-                      rows, title="Table 2: dataset statistics"))
+                      table_rows, title="Table 2: dataset statistics"))
     return 0
 
 
-def _cmd_area(_args) -> int:
+def _cmd_area(args) -> int:
     from repro.analysis.report import ascii_table
-    from repro.energy.breakdown import area_breakdown, figure10_shares
+    from repro.api.results import AreaReport
 
-    components = area_breakdown()
+    report = AreaReport.from_breakdown()
+    if args.format == "json":
+        return _emit_json(report.to_dict())
     rows = [[c.block, c.component, f"{c.area_mm2:.3f}", f"{c.power_mw:.1f}"]
-            for c in components]
+            for c in report.components]
     print(ascii_table(["block", "component", "area mm^2", "power mW"],
                       rows, title="Fig. 10: area and power (TSMC 12 nm)"))
-    shares = figure10_shares()
+    shares = report.shares
     print(f"\nGDR-HGNN: {shares['gdr_area_share']:.2%} of area, "
           f"{shares['gdr_power_share']:.2%} of power "
           "(paper: 2.30% / 0.46%)")

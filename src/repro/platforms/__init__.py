@@ -26,9 +26,15 @@ from repro.platforms.registry import (
     unregister_platform,
 )
 from repro.platforms.runner import GridRunner
-from repro.platforms.store import ArtifactStore, StoreStats, config_digest
+from repro.platforms.store import (
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    StoreStats,
+    config_digest,
+)
 
 __all__ = [
+    "STORE_SCHEMA_VERSION",
     "Platform",
     "PlatformContext",
     "DatasetArtifacts",

@@ -91,6 +91,29 @@ class GridRunner:
             self._platforms[name] = create_platform(name, self.context)
         return self._platforms[name]
 
+    def warm_artifacts(
+        self, datasets: list[str] | tuple[str, ...], *, jobs: int = 1
+    ) -> None:
+        """Build the topology artifacts of every named dataset.
+
+        Distinct datasets are independent, so with ``jobs > 1`` they
+        warm concurrently on a pool (numpy releases the GIL in the
+        sort-heavy trace work). Warming before a grid fan-out is what
+        keeps parallel runs bit-identical to serial ones: once built,
+        artifacts are read-only shared state.
+        """
+        needed = [
+            dataset
+            for dataset in dict.fromkeys(datasets)
+            if dataset not in self._artifacts
+        ]
+        if jobs > 1 and len(needed) > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                list(pool.map(self.artifacts, needed))
+        else:
+            for dataset in needed:
+                self.artifacts(dataset)
+
     def _store_key(self, platform: Platform, model: str, dataset: str) -> str:
         digest = config_digest(
             self.seed, self.scale, *platform.digest_sources()
@@ -170,28 +193,19 @@ class GridRunner:
         if self.store is not None:
             pending = [c for c in pending if not self._fill_from_store(c)]
         if pending:
-            needed = [
-                d
-                for d in dict.fromkeys(d for _, _, d in pending)
-                if d not in self._artifacts
-            ]
+            self.warm_artifacts(
+                [d for _, _, d in pending], jobs=jobs
+            )
 
             def run(cell: GridKey):
                 return self.run_cell(*cell, probe_store=False)
 
-            if jobs > 1 and (len(pending) > 1 or len(needed) > 1):
-                # Distinct datasets are independent, so their topology
-                # artifacts warm on the pool as well (numpy releases
-                # the GIL in the sort-heavy trace work); the cells fan
-                # out only once every dataset is built and read-only.
-                if needed:
-                    with ThreadPoolExecutor(max_workers=jobs) as pool:
-                        list(pool.map(self.artifacts, needed))
+            if jobs > 1 and len(pending) > 1:
+                # The cells fan out only once every dataset is built
+                # and read-only (warm_artifacts above).
                 with ThreadPoolExecutor(max_workers=jobs) as pool:
                     list(pool.map(run, pending))
             else:
-                for dataset in needed:
-                    self.artifacts(dataset)
                 for cell in pending:
                     run(cell)
         return {c: self.results[c] for c in cells}

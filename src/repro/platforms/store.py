@@ -11,10 +11,13 @@ Every grid cell is addressed by the SHA-256 of
   buffer size or the model width misses cleanly while unrelated
   platforms keep their entries.
 
-Reports are pickled under ``$REPRO_ARTIFACT_DIR`` (default
-``~/.cache/repro/artifacts``), sharded by key prefix. Writes are
-atomic (temp file + ``os.replace``), so concurrent grid workers and
-repeated CLI invocations can share one store.
+Payloads are pickled under ``$REPRO_ARTIFACT_DIR`` (default
+``~/.cache/repro/artifacts``), sharded by key prefix, inside a
+schema-versioned envelope: corrupt, truncated, pre-envelope or
+schema-mismatched files are treated as a cache miss (the entry is
+deleted and recomputed) rather than raised. Writes are atomic (temp
+file + ``os.replace``), so concurrent grid workers and repeated CLI
+invocations can share one store.
 """
 
 from __future__ import annotations
@@ -27,10 +30,21 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["ArtifactStore", "StoreStats", "config_digest", "code_version"]
+__all__ = [
+    "ArtifactStore",
+    "StoreStats",
+    "config_digest",
+    "code_version",
+    "STORE_SCHEMA_VERSION",
+]
 
 ENV_STORE_DIR = "REPRO_ARTIFACT_DIR"
 _PICKLE_PROTOCOL = 4
+
+#: On-disk envelope marker + version. Entries written by an older (or
+#: pre-envelope) library read as misses, never as wrong data.
+_MAGIC = "repro-artifact"
+STORE_SCHEMA_VERSION = 1
 
 _code_version: str | None = None
 
@@ -112,34 +126,58 @@ class ArtifactStore:
     # Access
     # ------------------------------------------------------------------
 
-    def load(self, key: str):
-        """The stored report, or ``None`` on a miss (counted)."""
+    def _miss(self) -> None:
+        with self._stats_lock:
+            self.stats.misses += 1
+
+    def load(self, key: str, *, schema: object = None):
+        """The stored payload, or ``None`` on a miss (counted).
+
+        A miss is anything that cannot be trusted: no file, a corrupt
+        or truncated pickle, a pre-envelope entry, a different
+        ``STORE_SCHEMA_VERSION``, or an envelope whose ``schema`` tag
+        differs from the caller's. Every such file is deleted so the
+        caller recomputes once and the next load is a clean miss.
+        """
         path = self._path(key)
         try:
             with path.open("rb") as fh:
-                report = pickle.load(fh)
+                envelope = pickle.load(fh)
         except FileNotFoundError:
-            with self._stats_lock:
-                self.stats.misses += 1
+            self._miss()
             return None
         except Exception:
             # Corrupt or unreadable entry: drop it and treat as a miss.
             path.unlink(missing_ok=True)
-            with self._stats_lock:
-                self.stats.misses += 1
+            self._miss()
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("magic") != _MAGIC
+            or envelope.get("store_version") != STORE_SCHEMA_VERSION
+            or envelope.get("schema") != schema
+        ):
+            path.unlink(missing_ok=True)
+            self._miss()
             return None
         with self._stats_lock:
             self.stats.hits += 1
-        return report
+        return envelope["payload"]
 
-    def save(self, key: str, report: object) -> None:
-        """Persist one report atomically."""
+    def save(self, key: str, payload: object, *, schema: object = None) -> None:
+        """Persist one payload atomically inside the schema envelope."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "magic": _MAGIC,
+            "store_version": STORE_SCHEMA_VERSION,
+            "schema": schema,
+            "payload": payload,
+        }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(report, fh, protocol=_PICKLE_PROTOCOL)
+                pickle.dump(envelope, fh, protocol=_PICKLE_PROTOCOL)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -149,6 +187,13 @@ class ArtifactStore:
             raise
         with self._stats_lock:
             self.stats.puts += 1
+
+    def delete(self, key: str) -> bool:
+        """Drop one entry; returns whether a file existed."""
+        path = self._path(key)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        return existed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.pkl"))

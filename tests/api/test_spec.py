@@ -1,0 +1,122 @@
+"""ExperimentSpec: validation, round-tripping, derived views."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.accelerator.config import HiHGNNConfig
+from repro.api import DEFAULT_PLATFORMS, ExperimentSpec
+from repro.frontend.config import GDRConfig
+from repro.models.base import ModelConfig
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_grid(self):
+        spec = ExperimentSpec()
+        assert spec.platforms == DEFAULT_PLATFORMS
+        assert spec.models == ("rgcn", "rgat", "simple_hgn")
+        assert spec.datasets == ("acm", "imdb", "dblp")
+        assert spec.grid_size == 4 * 3 * 3
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset 'acme'"):
+            ExperimentSpec(datasets=("acm", "acme"))
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model 'gcn2'"):
+            ExperimentSpec(models=("gcn2",))
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError, match="unknown platform 'h100'"):
+            ExperimentSpec(platforms=("t4", "h100"))
+
+    def test_model_aliases_accepted(self):
+        spec = ExperimentSpec(models=("RGCN", "simple-hgn"))
+        assert spec.models == ("RGCN", "simple-hgn")
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="platforms must not be empty"):
+            ExperimentSpec(platforms=())
+        with pytest.raises(ValueError, match="models must not be empty"):
+            ExperimentSpec(models=())
+        with pytest.raises(ValueError, match="datasets must not be empty"):
+            ExperimentSpec(datasets=())
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale must be positive"):
+            ExperimentSpec(scale=0.0)
+
+    def test_lists_coerced_to_tuples(self):
+        spec = ExperimentSpec(platforms=["t4"], models=["rgcn"],
+                              datasets=["acm"])
+        assert spec.platforms == ("t4",)
+        assert isinstance(spec.models, tuple)
+
+    def test_replace_revalidates(self):
+        spec = ExperimentSpec()
+        assert spec.replace(platforms=("t4",)).platforms == ("t4",)
+        with pytest.raises(ValueError, match="unknown platform"):
+            spec.replace(platforms=("nope",))
+
+
+class TestCells:
+    def test_canonical_platform_major_order(self):
+        spec = ExperimentSpec(platforms=("t4", "hihgnn"), models=("rgcn",),
+                              datasets=("acm", "imdb"))
+        assert list(spec.cells()) == [
+            ("t4", "rgcn", "acm"),
+            ("t4", "rgcn", "imdb"),
+            ("hihgnn", "rgcn", "acm"),
+            ("hihgnn", "rgcn", "imdb"),
+        ]
+
+    def test_duplicates_deduped(self):
+        spec = ExperimentSpec(platforms=("t4", "t4"), models=("rgcn",),
+                              datasets=("acm",))
+        assert spec.grid_size == 1
+
+
+class TestRoundTrip:
+    def test_default_round_trip(self):
+        spec = ExperimentSpec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_with_overrides(self):
+        spec = ExperimentSpec(
+            platforms=("t4", "hihgnn+gdr"),
+            models=("rgat",),
+            datasets=("dblp",),
+            seed=7,
+            scale=0.25,
+            accelerator=dataclasses.replace(
+                HiHGNNConfig(), na_buffer_bytes=1 << 20
+            ),
+            frontend=dataclasses.replace(GDRConfig(), fifo_bytes=4096),
+            model_config=ModelConfig(hidden_dim=64, num_heads=4,
+                                     embed_dim=8),
+        )
+        wire = json.loads(json.dumps(spec.to_dict()))
+        rebuilt = ExperimentSpec.from_dict(wire)
+        assert rebuilt == spec
+        assert rebuilt.accelerator.na_buffer_bytes == 1 << 20
+        assert rebuilt.to_dict() == spec.to_dict()
+
+    def test_schema_version_checked(self):
+        payload = ExperimentSpec().to_dict()
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version mismatch"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_from_dict_revalidates(self):
+        payload = ExperimentSpec().to_dict()
+        payload["datasets"] = ["acme"]
+        with pytest.raises(ValueError, match="unknown dataset"):
+            ExperimentSpec.from_dict(payload)
+
+    def test_context_matches_fields(self):
+        spec = ExperimentSpec()
+        context = spec.context()
+        assert context.accelerator == spec.accelerator
+        assert context.frontend == spec.frontend
+        assert context.model_config == spec.model_config

@@ -53,6 +53,46 @@ class TestStorage:
         assert not path.exists()
         assert store.load(key) is None  # stays a clean miss
 
+    def test_truncated_entry_is_a_miss_and_removed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.key_for("t4", "rgcn", "acm", "d0")
+        store.save(key, list(range(1000)))
+        path = store._path(key)
+        path.write_bytes(path.read_bytes()[:20])  # cut mid-pickle
+        assert store.load(key) is None
+        assert not path.exists()
+
+    def test_pre_envelope_entry_is_a_miss_and_removed(self, tmp_path):
+        import pickle
+
+        store = ArtifactStore(tmp_path)
+        key = store.key_for("t4", "rgcn", "acm", "d0")
+        path = store._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # What a pre-schema-envelope library version wrote: the bare
+        # payload pickle. It unpickles fine but must read as a miss.
+        path.write_bytes(pickle.dumps({"time_ms": 1.5}))
+        assert store.load(key) is None
+        assert not path.exists()
+
+    def test_schema_tag_mismatch_is_a_miss_and_removed(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.key_for("t4", "rgcn", "acm", "d0")
+        store.save(key, {"x": 1}, schema=("cell-result", 1))
+        assert store.load(key, schema=("cell-result", 2)) is None
+        assert not store._path(key).exists()
+        # Matching schema after the wipe: clean miss, then refill works.
+        store.save(key, {"x": 2}, schema=("cell-result", 2))
+        assert store.load(key, schema=("cell-result", 2)) == {"x": 2}
+
+    def test_delete(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = store.key_for("t4", "rgcn", "acm", "d0")
+        assert store.delete(key) is False
+        store.save(key, "payload")
+        assert store.delete(key) is True
+        assert store.load(key) is None
+
     def test_len_and_clear(self, tmp_path):
         store = ArtifactStore(tmp_path)
         for model in ("rgcn", "rgat", "simple_hgn"):

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -132,3 +134,110 @@ class TestCommands:
             "--model", "gcn2",
         ]) == 2
         assert "unknown model 'gcn2'" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    """--format json emits the typed results' dict form on every command."""
+
+    def _json(self, capsys, argv):
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_evaluate_json_document(self, capsys):
+        doc = self._json(capsys, [
+            "evaluate", "--scale", "0.05", "--models", "rgcn",
+            "--datasets", "acm", "--platforms", "t4,hihgnn",
+            "--no-cache", "--format", "json",
+        ])
+        assert set(doc) == {"grid", "reports"}
+        grid = doc["grid"]
+        assert grid["schema_version"] == 1
+        assert grid["spec"]["platforms"] == ["t4", "hihgnn"]
+        assert [c["platform"] for c in grid["cells"]] == ["t4", "hihgnn"]
+        for cell in grid["cells"]:
+            assert cell["time_ms"] > 0
+            assert cell["dataset"] == "acm"
+        reports = doc["reports"]
+        assert set(reports) == {
+            "speedup", "dram_accesses", "bandwidth_utilization"
+        }
+        assert reports["speedup"]["geomean"]["t4"] == pytest.approx(1.0)
+
+    def test_evaluate_json_round_trips_through_grid_result(self, capsys):
+        from repro.api import GridResult
+
+        doc = self._json(capsys, [
+            "evaluate", "--scale", "0.05", "--models", "rgcn",
+            "--datasets", "acm", "--platforms", "t4",
+            "--no-cache", "--format", "json",
+        ])
+        grid = GridResult.from_dict(doc["grid"])
+        assert grid.to_dict() == doc["grid"]
+
+    def test_evaluate_json_baseline_runs_but_is_not_a_column(self, capsys):
+        doc = self._json(capsys, [
+            "evaluate", "--scale", "0.05", "--models", "rgcn",
+            "--datasets", "acm", "--platforms", "hihgnn",
+            "--no-cache", "--format", "json",
+        ])
+        # T4 was simulated for normalization but the output grid and
+        # report columns contain exactly what was requested.
+        assert [c["platform"] for c in doc["grid"]["cells"]] == ["hihgnn"]
+        assert doc["reports"]["speedup"]["platforms"] == ["hihgnn"]
+        assert doc["reports"]["speedup"]["geomean"]["hihgnn"] > 1.0
+
+    def test_evaluate_json_warm_store_byte_identical(self, capsys, tmp_path):
+        argv = [
+            "evaluate", "--scale", "0.05", "--models", "rgcn",
+            "--datasets", "acm", "--platforms", "t4,hihgnn",
+            "--cache-dir", str(tmp_path), "--format", "json",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_platforms_json(self, capsys):
+        doc = self._json(capsys, ["platforms", "--format", "json"])
+        names = [entry["name"] for entry in doc["platforms"]]
+        assert names[:4] == ["t4", "a100", "hihgnn", "hihgnn+gdr"]
+        assert all("adapter" in entry for entry in doc["platforms"])
+
+    def test_thrash_json(self, capsys):
+        doc = self._json(capsys, [
+            "thrash", "--dataset", "acm", "--scale", "0.05",
+            "--format", "json",
+        ])
+        assert doc["model"] == "rgcn"
+        assert doc["restructured"] is False
+        assert 0.0 <= doc["na_hit_ratio"] <= 1.0
+        assert doc["histogram"]  # str(times) -> series mapping
+
+    def test_thrash_json_gdr(self, capsys):
+        doc = self._json(capsys, [
+            "thrash", "--dataset", "acm", "--scale", "0.05", "--gdr",
+            "--format", "json",
+        ])
+        assert doc["restructured"] is True
+
+    def test_datasets_json(self, capsys):
+        doc = self._json(capsys, [
+            "datasets", "--scale", "0.05", "--format", "json",
+        ])
+        assert set(doc["edges"]) == {"acm", "imdb", "dblp"}
+        assert all(row["vertices"] > 0 for row in doc["rows"])
+
+    def test_restructure_json(self, capsys):
+        doc = self._json(capsys, [
+            "restructure", "--dataset", "imdb", "--scale", "0.05",
+            "--format", "json",
+        ])
+        assert doc["rows"]
+        for row in doc["rows"]:
+            assert row["edges"] == sum(row["subgraph_edges"])
+
+    def test_area_json(self, capsys):
+        doc = self._json(capsys, ["area", "--format", "json"])
+        assert 0 < doc["shares"]["gdr_area_share"] < 0.1
+        assert {c["block"] for c in doc["components"]} == {"hihgnn", "gdr"}
