@@ -25,6 +25,9 @@ DAC 2024) as a pure-Python system:
 - :mod:`repro.api` -- the stable programmatic entry point: declarative
   :class:`~repro.api.spec.ExperimentSpec`, typed results and the
   blocking/streaming :class:`~repro.api.session.Session`.
+- :mod:`repro.scenarios` -- the scenario catalog: registered
+  parameterized workload families (scale/skew/relation sweeps,
+  adversarial stress cases) usable wherever a dataset name is.
 
 The evaluation entry points (``ExperimentSpec``, ``Session``,
 ``EvaluationSuite``, ``EvaluationConfig``, ...) are exposed lazily:
@@ -52,6 +55,10 @@ _LAZY_EXPORTS = {
     "GridResult": "repro.api.results",
     "EvaluationSuite": "repro.analysis.experiments",
     "EvaluationConfig": "repro.analysis.experiments",
+    "register_scenario": "repro.scenarios.registry",
+    "build_scenario": "repro.scenarios.registry",
+    "scenario_names": "repro.scenarios.registry",
+    "load_workload": "repro.scenarios.workloads",
 }
 
 __all__ = [

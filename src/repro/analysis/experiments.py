@@ -75,12 +75,13 @@ class EvaluationConfig:
     model_config: ModelConfig = field(default_factory=ModelConfig)
 
     def __post_init__(self) -> None:
-        for dataset in self.datasets:
-            if dataset not in DATASET_SPECS:
-                known = ", ".join(sorted(DATASET_SPECS))
-                raise ValueError(
-                    f"unknown dataset {dataset!r}; known datasets: {known}"
-                )
+        # Same namespace as ExperimentSpec: catalog datasets plus
+        # scenario references, canonicalized eagerly.
+        from repro.scenarios import canonical_workload
+
+        self.datasets = tuple(
+            canonical_workload(dataset) for dataset in self.datasets
+        )
         for model in self.models:
             if model.lower().replace("-", "_") not in MODEL_REGISTRY:
                 known = ", ".join(sorted(MODEL_REGISTRY))
@@ -193,14 +194,20 @@ class EvaluationSuite:
         """Table 2: dataset statistics (generated vs specified)."""
         rows = []
         for dataset in self.config.datasets:
-            spec = DATASET_SPECS[dataset]
+            # Scenario workloads have no Table 2 row to compare with;
+            # their generated counts stand in as their own spec.
+            spec = DATASET_SPECS.get(dataset)
             graph = self.graph(dataset)
             for vtype in graph.vertex_types:
                 rows.append(
                     DatasetStatRow(
                         dataset=dataset,
                         vertex_type=vtype,
-                        spec_vertices=spec.num_vertices[vtype],
+                        spec_vertices=(
+                            spec.num_vertices[vtype]
+                            if spec is not None
+                            else graph.num_vertices(vtype)
+                        ),
                         vertices=graph.num_vertices(vtype),
                         feature_dim=graph.feature_dim(vtype),
                         relations=sum(

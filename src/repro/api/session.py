@@ -34,6 +34,7 @@ from repro.graph.hetero import HeteroGraph
 from repro.graph.semantic import SemanticGraph
 from repro.platforms.runner import GridRunner
 from repro.platforms.store import ArtifactStore, config_digest
+from repro.scenarios import workload_digest
 
 __all__ = ["Session", "ProgressCallback"]
 
@@ -125,8 +126,15 @@ class Session:
     ) -> str:
         platform_name, model, dataset = key
         platform = workspace.runner.platform(platform_name)
+        # workload_digest covers the resolved generation recipe, so a
+        # changed scenario parameter (or catalog recipe edit) is a
+        # store miss even when the dataset name text is unchanged.
         digest = config_digest(
-            spec.seed, spec.scale, *platform.digest_sources(), _CELL_SCHEMA
+            spec.seed,
+            spec.scale,
+            workload_digest(dataset, spec.seed, spec.scale),
+            *platform.digest_sources(),
+            _CELL_SCHEMA,
         )
         return self.store.key_for(platform_name, model, dataset, digest)
 

@@ -23,7 +23,6 @@ from typing import Any, Iterator
 from repro.accelerator.config import HiHGNNConfig
 from repro.api.results import SchemaMismatchError
 from repro.frontend.config import GDRConfig
-from repro.graph.datasets import DATASET_SPECS
 from repro.memory.dram import HBMConfig
 from repro.models.base import ModelConfig
 from repro.models.workload import MODEL_REGISTRY
@@ -56,7 +55,10 @@ class ExperimentSpec:
     Attributes:
         platforms: registry names of the execution targets (columns).
         models: HGNN model names (case-insensitive, ``-``/``_`` alias).
-        datasets: synthetic dataset names from the Table 2 catalog.
+        datasets: synthetic dataset names from the Table 2 catalog
+            and/or scenario references (``family:key=value,...``) from
+            the scenario registry; scenario refs are stored in
+            canonical form.
         seed: dataset generation seed.
         scale: dataset scale factor; ``1.0`` is the published size,
             smaller values shrink every vertex set for quick runs.
@@ -85,12 +87,17 @@ class ExperimentSpec:
                 raise ValueError(f"spec {axis} must not be empty")
         if self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
-        for dataset in self.datasets:
-            if dataset not in DATASET_SPECS:
-                known = ", ".join(sorted(DATASET_SPECS))
-                raise ValueError(
-                    f"unknown dataset {dataset!r}; known datasets: {known}"
-                )
+        # Datasets accept catalog names and scenario references alike;
+        # scenario refs are canonicalized (parameter order, defaults,
+        # value spelling) so equivalent spellings share one grid cell,
+        # one workspace artifact set and one store address.
+        from repro.scenarios import canonical_workload
+
+        object.__setattr__(
+            self,
+            "datasets",
+            tuple(canonical_workload(dataset) for dataset in self.datasets),
+        )
         for model in self.models:
             if model.lower().replace("-", "_") not in MODEL_REGISTRY:
                 known = ", ".join(sorted(MODEL_REGISTRY))

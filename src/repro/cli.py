@@ -4,6 +4,8 @@ Commands:
 
 - ``evaluate``  -- run the §5 evaluation grid and print Figures 7/8/9.
 - ``platforms`` -- list the registered execution platforms.
+- ``scenarios`` -- list/describe the scenario catalog (parameterized
+  workload families usable wherever a dataset name is accepted).
 - ``thrash``    -- print Fig. 2 style replacement histograms.
 - ``restructure`` -- restructure one dataset's semantic graphs and
   print backbone/subgraph statistics.
@@ -53,7 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--scale", type=float, default=0.3)
     evaluate.add_argument("--models", default="rgcn",
                           help="comma-separated model list")
-    evaluate.add_argument("--datasets", default="acm,imdb,dblp")
+    evaluate.add_argument("--datasets", default=None,
+                          help="comma-separated catalog datasets and/or "
+                               "scenario refs (default: acm,imdb,dblp, "
+                               "or only --scenario workloads when given)")
+    evaluate.add_argument("--scenario", action="append", default=None,
+                          metavar="FAMILY[:K=V,...]",
+                          help="add one scenario workload to the grid "
+                               "(repeatable); see `repro scenarios list`")
     evaluate.add_argument("--seed", type=int, default=1)
     evaluate.add_argument("--platforms", default=None,
                           help="comma-separated platform list "
@@ -70,6 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stream per-cell progress to stderr as "
                                "results complete")
     _add_format(evaluate)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list/describe the scenario catalog"
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="action", required=True)
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="all registered workload families"
+    )
+    _add_format(scenarios_list)
+    scenarios_describe = scenarios_sub.add_parser(
+        "describe", help="parameters of one family or reference"
+    )
+    scenarios_describe.add_argument(
+        "ref", metavar="FAMILY[:K=V,...]",
+        help="family name or full scenario reference",
+    )
+    _add_format(scenarios_describe)
 
     platforms = sub.add_parser(
         "platforms", help="list registered execution platforms"
@@ -127,10 +153,20 @@ def _cmd_evaluate(args) -> int:
         if args.platforms
         else ExperimentSpec().platforms
     )
+    # --datasets splits on commas, so scenario refs with parameters go
+    # through the repeatable --scenario flag; with only --scenario
+    # given the catalog default drops out and the grid is pure sweep.
+    datasets: tuple[str, ...] = ()
+    if args.datasets is not None:
+        datasets = tuple(args.datasets.split(","))
+    elif not args.scenario:
+        datasets = ("acm", "imdb", "dblp")
+    if args.scenario:
+        datasets = datasets + tuple(args.scenario)
     try:
         spec = ExperimentSpec(
             platforms=requested,
-            datasets=tuple(args.datasets.split(",")),
+            datasets=datasets,
             models=tuple(args.models.split(",")),
             seed=args.seed,
             scale=args.scale,
@@ -213,6 +249,50 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    from repro.analysis.report import ascii_table
+    from repro.scenarios import describe_scenario, scenario_names
+
+    if args.action == "list":
+        entries = [describe_scenario(name) for name in scenario_names()]
+        if args.format == "json":
+            return _emit_json({"scenarios": entries})
+        rows = [
+            [
+                entry["family"],
+                ", ".join(
+                    f"{p['name']}={p['default']}" for p in entry["params"]
+                ),
+                entry["doc"],
+            ]
+            for entry in entries
+        ]
+        print(ascii_table(
+            ["family", "parameters (defaults)", "description"], rows,
+            title="Scenario catalog",
+        ))
+        return 0
+
+    try:
+        entry = describe_scenario(args.ref)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        return _emit_json(entry)
+    print(f"{entry['family']}: {entry['doc']}")
+    print(f"canonical: {entry['canonical']}")
+    print(ascii_table(
+        ["parameter", "default", "value", "description"],
+        [
+            [p["name"], p["default"], p["value"], p["doc"]]
+            for p in entry["params"]
+        ],
+        title="Parameters",
+    ))
+    return 0
+
+
 def _cmd_platforms(args) -> int:
     from repro.analysis.report import ascii_table
     from repro.platforms import get_platform_class, platform_names
@@ -247,7 +327,7 @@ def _cmd_thrash(args) -> int:
     from repro.analysis.report import render_histogram
     from repro.analysis.thrashing import thrashing_analysis
     from repro.api import ExperimentSpec
-    from repro.graph.datasets import load_dataset
+    from repro.scenarios import load_workload
     from repro.restructure.restructure import GraphRestructurer
 
     try:
@@ -262,7 +342,7 @@ def _cmd_thrash(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    graph = load_workload(args.dataset, seed=args.seed, scale=args.scale)
     restructurer = (
         GraphRestructurer(validate=False) if args.gdr else None
     )
@@ -291,11 +371,15 @@ def _cmd_thrash(args) -> int:
 def _cmd_restructure(args) -> int:
     from repro.analysis.report import ascii_table
     from repro.api.results import RestructureRelationRow, RestructureReport
-    from repro.graph.datasets import load_dataset
+    from repro.scenarios import load_workload
     from repro.graph.semantic import build_semantic_graphs
     from repro.restructure.restructure import GraphRestructurer
 
-    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    try:
+        graph = load_workload(args.dataset, seed=args.seed, scale=args.scale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     restructurer = GraphRestructurer(max_depth=args.depth, validate=False)
     rows = []
     for sg in build_semantic_graphs(graph):
@@ -384,6 +468,7 @@ def _cmd_area(args) -> int:
 
 _COMMANDS = {
     "evaluate": _cmd_evaluate,
+    "scenarios": _cmd_scenarios,
     "platforms": _cmd_platforms,
     "thrash": _cmd_thrash,
     "restructure": _cmd_restructure,

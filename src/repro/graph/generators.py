@@ -182,6 +182,32 @@ def community_bipartite(
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
     num_blocks = min(num_blocks, num_src, num_dst)
 
+    # Edges beyond the within-block pair capacity can only come from
+    # cross-community draws, which arrive at rate ~``mixing`` per
+    # sample. Detect requests that are infeasible (mixing 0) or
+    # pathologically slow (deficit far above the expected cross-edge
+    # supply) eagerly, instead of redrawing for minutes before the
+    # max_rounds RuntimeError. Block *sizes* are fixed by the
+    # round-robin assignment below (the permutation only shuffles
+    # membership), so the capacity is exact and rng-independent.
+    src_sizes = np.bincount(
+        np.arange(num_src, dtype=np.int64) % num_blocks,
+        minlength=num_blocks,
+    )
+    dst_sizes = np.bincount(
+        np.arange(num_dst, dtype=np.int64) % num_blocks,
+        minlength=num_blocks,
+    )
+    reachable_within = int((src_sizes * dst_sizes).sum())
+    deficit = num_edges - reachable_within
+    if deficit > 10.0 * mixing * num_edges:
+        raise ValueError(
+            f"cannot reliably place {num_edges} distinct edges: "
+            f"{num_blocks} blocks hold {reachable_within} within-block "
+            f"pairs and mixing={mixing:g} supplies too few cross-block "
+            "edges to cover the rest; raise mixing or lower num_edges"
+        )
+
     # Random block assignment (ids carry no community information).
     src_block = rng.permutation(
         np.arange(num_src, dtype=np.int64) % num_blocks

@@ -22,7 +22,6 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.graph.datasets import load_dataset
 from repro.graph.hetero import HeteroGraph
 from repro.platforms.base import DatasetArtifacts, Platform, PlatformContext
 from repro.platforms.registry import create_platform
@@ -70,9 +69,18 @@ class GridRunner:
     # ------------------------------------------------------------------
 
     def graph(self, dataset: str) -> HeteroGraph:
-        """The (cached) generated dataset graph."""
+        """The (cached) generated dataset or scenario graph.
+
+        ``dataset`` is a Table 2 catalog name or a scenario reference
+        (``family:key=value,...``); both resolve through
+        :func:`repro.scenarios.load_workload` and cache under the name
+        as given, so specs (which canonicalize references eagerly)
+        share one graph per sweep point.
+        """
         if dataset not in self._graphs:
-            self._graphs[dataset] = load_dataset(
+            from repro.scenarios import load_workload
+
+            self._graphs[dataset] = load_workload(
                 dataset, seed=self.seed, scale=self.scale
             )
         return self._graphs[dataset]
@@ -115,8 +123,18 @@ class GridRunner:
                 self.artifacts(dataset)
 
     def _store_key(self, platform: Platform, model: str, dataset: str) -> str:
+        # The workload digest covers the *resolved* generation recipe
+        # (scenario family + full parameter dict, or the catalog
+        # DatasetSpec) plus seed and scale, so changing any sweep
+        # parameter — or a family default — misses even when the
+        # textual dataset name is unchanged.
+        from repro.scenarios import workload_digest
+
         digest = config_digest(
-            self.seed, self.scale, *platform.digest_sources()
+            self.seed,
+            self.scale,
+            workload_digest(dataset, self.seed, self.scale),
+            *platform.digest_sources(),
         )
         return self.store.key_for(platform.name, model, dataset, digest)
 

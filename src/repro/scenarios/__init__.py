@@ -1,0 +1,66 @@
+"""Scenario catalog: parameterized workload families beyond Table 2.
+
+The paper's phenomenon is evaluated on three fixed datasets; this
+package turns that into an open-ended workload grid. A *scenario* is a
+registered, parameterized graph recipe referenced as
+``family:key=value,...`` anywhere a dataset name is accepted::
+
+    from repro.api import ExperimentSpec, Session
+
+    spec = ExperimentSpec(
+        platforms=("t4", "hihgnn+gdr"),
+        models=("rgcn",),
+        datasets=("acm", "skew:exponent=1.5", "thrash:working_set=4096"),
+        scale=0.3,
+    )
+    Session(spec).run()
+
+- :mod:`repro.scenarios.registry` — ``@register_scenario`` plus
+  reference parsing, canonicalization and lookup.
+- :mod:`repro.scenarios.families` — the built-in sweep families
+  (``scale``, ``skew``, ``relations``, ``community``) and adversarial
+  stress cases (``thrash``, ``uniform``, ``star``).
+- :mod:`repro.scenarios.workloads` — the single namespace over catalog
+  datasets and scenarios used by spec validation, the grid runner and
+  artifact-store addressing.
+"""
+
+from repro.scenarios.registry import (
+    ScenarioFamily,
+    ScenarioParam,
+    build_scenario,
+    canonical_scenario,
+    describe_scenario,
+    get_scenario,
+    is_scenario_ref,
+    parse_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.scenarios.workloads import (
+    canonical_workload,
+    is_catalog_dataset,
+    load_workload,
+    workload_digest,
+)
+
+__all__ = [
+    "ScenarioFamily",
+    "ScenarioParam",
+    "register_scenario",
+    "unregister_scenario",
+    "scenario_names",
+    "get_scenario",
+    "parse_scenario",
+    "is_scenario_ref",
+    "resolve_scenario",
+    "canonical_scenario",
+    "build_scenario",
+    "describe_scenario",
+    "canonical_workload",
+    "is_catalog_dataset",
+    "load_workload",
+    "workload_digest",
+]

@@ -1,0 +1,356 @@
+"""Decorator-based scenario registry.
+
+A *scenario* is a parameterized workload family: a recipe that turns a
+small set of typed parameters (sizes, skew exponents, relation counts)
+into a :class:`~repro.graph.hetero.HeteroGraph` on demand. Scenarios
+are referenced by a compact textual form everywhere a catalog dataset
+name is accepted (``ExperimentSpec.datasets``, ``GridRunner.graph``,
+``repro evaluate --scenario``)::
+
+    skew                       # family with every parameter defaulted
+    skew:exponent=1.5          # one override
+    scale:base=dblp,factor=4   # several overrides
+
+Adding a family to the whole stack (spec validation, grid runner,
+artifact store, CLI ``scenarios list``/``describe``) is one decorator
+on one builder function::
+
+    from repro.scenarios import ScenarioParam, register_scenario
+
+    @register_scenario(
+        "ring",
+        params=(ScenarioParam("length", 64, "cycle length"),),
+        doc="Single-relation ring graph.",
+    )
+    def build_ring(*, seed, scale, length):
+        ...
+        return HeteroGraph(...)
+
+Builders receive the dataset ``seed`` and ``scale`` of the experiment
+plus every declared parameter (defaults filled in, overrides coerced to
+the default's type) and must be deterministic: the same resolved
+parameters, seed and scale always produce a bit-identical graph. That
+determinism is what the differential/golden test suite locks in.
+
+The built-in families live in :mod:`repro.scenarios.families` and are
+imported lazily on first lookup, mirroring the platform registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.graph.hetero import HeteroGraph
+
+__all__ = [
+    "ScenarioParam",
+    "ScenarioFamily",
+    "register_scenario",
+    "unregister_scenario",
+    "scenario_names",
+    "get_scenario",
+    "parse_scenario",
+    "is_scenario_ref",
+    "resolve_scenario",
+    "canonical_scenario",
+    "build_scenario",
+    "describe_scenario",
+]
+
+_REGISTRY: dict[str, "ScenarioFamily"] = {}
+_builtins_loaded = False
+
+#: Module defining the built-in families; its own register_scenario
+#: calls must not recurse into _ensure_builtins mid-import.
+_BUILTIN_MODULE = "repro.scenarios.families"
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in scenario families once."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    import importlib
+
+    importlib.import_module(_BUILTIN_MODULE)
+    _builtins_loaded = True
+
+
+@dataclass(frozen=True)
+class ScenarioParam:
+    """One declared parameter of a scenario family.
+
+    The default's type is the parameter's type: overrides arriving as
+    text (from a ``family:key=value`` reference) or as JSON scalars are
+    coerced to it, so ``exponent=2`` and ``exponent=2.0`` resolve to
+    the same scenario (and the same artifact-store digest).
+    """
+
+    name: str
+    default: int | float | str
+    doc: str = ""
+
+    def coerce(self, raw: object) -> int | float | str:
+        """Convert one override to this parameter's type."""
+        kind = type(self.default)
+        try:
+            if kind is int:
+                try:
+                    # Integer literals convert exactly at any
+                    # magnitude (no float round-trip).
+                    return int(raw)
+                except (TypeError, ValueError):
+                    # Reject silent truncation: 1.5 is not a valid int
+                    # (but 2.0 and "2e3" are).
+                    as_float = float(raw)
+                    as_int = int(as_float)
+                    if as_int != as_float:
+                        raise ValueError
+                    return as_int
+            if kind is float:
+                return float(raw)
+            return str(raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"parameter {self.name!r} expects {kind.__name__}, "
+                f"got {raw!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A registered workload family (name, parameters, builder)."""
+
+    name: str
+    doc: str
+    params: tuple[ScenarioParam, ...]
+    builder: Callable[..., HeteroGraph] = field(repr=False)
+
+    def param(self, name: str) -> ScenarioParam:
+        for param in self.params:
+            if param.name == name:
+                return param
+        known = ", ".join(p.name for p in self.params) or "(none)"
+        raise ValueError(
+            f"scenario family {self.name!r} has no parameter {name!r}; "
+            f"parameters: {known}"
+        )
+
+    def resolve(self, overrides: dict[str, object]) -> dict[str, Any]:
+        """Full parameter dict: defaults overlaid with coerced overrides."""
+        resolved = {p.name: p.default for p in self.params}
+        for key, raw in overrides.items():
+            resolved[key] = self.param(key).coerce(raw)
+        return resolved
+
+    def build(
+        self, *, seed: int = 0, scale: float = 1.0, **overrides
+    ) -> HeteroGraph:
+        """Generate the graph for one sweep point.
+
+        The graph is renamed to the canonical reference so reports and
+        store entries self-describe the exact sweep point.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        resolved = self.resolve(overrides)
+        graph = self.builder(seed=int(seed), scale=float(scale), **resolved)
+        graph.name = _canonical(self, resolved)
+        return graph
+
+
+def register_scenario(
+    name: str,
+    *,
+    params: tuple[ScenarioParam, ...] = (),
+    doc: str | None = None,
+):
+    """Function decorator registering one scenario family."""
+
+    def decorator(builder: Callable[..., HeteroGraph]):
+        # Load the builtin families first so registering over a builtin
+        # name collides here, at the user's decorator (builtins skip
+        # this: they register during that very import).
+        if builder.__module__ != _BUILTIN_MODULE:
+            _ensure_builtins()
+        key = name.lower()
+        if ":" in key or "," in key or "=" in key:
+            raise ValueError(
+                f"scenario family name {name!r} must not contain "
+                "':', ',' or '=' (reserved by the reference syntax)"
+            )
+        # Catalog names win every workload lookup, so a family shadowed
+        # by one would silently run the Table 2 dataset instead.
+        from repro.graph.datasets import DATASET_SPECS
+
+        if key in DATASET_SPECS:
+            raise ValueError(
+                f"scenario family name {name!r} collides with a catalog "
+                "dataset; pick a different name"
+            )
+        if key in _REGISTRY:
+            raise ValueError(
+                f"scenario {name!r} is already registered "
+                f"(by {_REGISTRY[key].builder.__qualname__})"
+            )
+        seen = set()
+        for param in params:
+            if param.name in seen:
+                raise ValueError(
+                    f"scenario {name!r} declares parameter "
+                    f"{param.name!r} twice"
+                )
+            seen.add(param.name)
+        family = ScenarioFamily(
+            name=key,
+            doc=(doc if doc is not None else builder.__doc__ or "").strip(),
+            params=tuple(params),
+            builder=builder,
+        )
+        _REGISTRY[key] = family
+        return builder
+
+    return decorator
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registered family (experiment/test cleanup)."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered family names, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioFamily:
+    """Look up a family; raises ``ValueError`` when unknown."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise ValueError(
+            f"unknown scenario family {name!r}; known families: {known}"
+        ) from None
+
+
+def parse_scenario(ref: str) -> tuple[str, dict[str, str]]:
+    """Split ``family:k=v,k=v`` into the family name and raw overrides.
+
+    Purely syntactic — the family is not looked up and values are not
+    coerced (that happens in :func:`resolve_scenario`).
+    """
+    if not isinstance(ref, str) or not ref.strip():
+        raise ValueError(f"empty scenario reference {ref!r}")
+    head, sep, rest = ref.partition(":")
+    family = head.strip().lower()
+    if not family:
+        raise ValueError(f"scenario reference {ref!r} names no family")
+    overrides: dict[str, str] = {}
+    if sep and rest.strip():
+        for item in rest.split(","):
+            key, eq, value = item.partition("=")
+            key, value = key.strip(), value.strip()
+            if not eq or not key or not value:
+                raise ValueError(
+                    f"malformed parameter {item.strip()!r} in scenario "
+                    f"reference {ref!r} (expected key=value)"
+                )
+            if key in overrides:
+                raise ValueError(
+                    f"duplicate parameter {key!r} in scenario "
+                    f"reference {ref!r}"
+                )
+            overrides[key] = value
+    return family, overrides
+
+
+def is_scenario_ref(name: str) -> bool:
+    """Whether ``name`` is plausibly a scenario reference.
+
+    True for anything carrying parameter syntax (``:``) and for bare
+    names registered as families. Catalog dataset names (no ``:``,
+    not registered) return False.
+    """
+    if not isinstance(name, str):
+        return False
+    if ":" in name:
+        return True
+    _ensure_builtins()
+    return name.strip().lower() in _REGISTRY
+
+
+def resolve_scenario(ref: str) -> tuple[ScenarioFamily, dict[str, Any]]:
+    """Family plus fully-resolved (defaults + coerced overrides) params."""
+    family_name, overrides = parse_scenario(ref)
+    family = get_scenario(family_name)
+    return family, family.resolve(overrides)
+
+
+def _format_value(value: object) -> str:
+    # repr is exact for floats (no precision loss) and canonical across
+    # processes; ints and strings print plainly.
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _canonical(family: ScenarioFamily, resolved: dict[str, Any]) -> str:
+    """Canonical reference: family plus non-default params, declared order."""
+    parts = [
+        f"{p.name}={_format_value(resolved[p.name])}"
+        for p in family.params
+        if resolved[p.name] != p.default
+    ]
+    if not parts:
+        return family.name
+    return f"{family.name}:{','.join(parts)}"
+
+
+def canonical_scenario(ref: str) -> str:
+    """Normalize a reference (order, defaults, value spelling).
+
+    Two references that resolve to the same sweep point canonicalize to
+    the same string, so the grid runner and the session share one set
+    of topology artifacts per sweep point no matter how the point was
+    spelled.
+    """
+    family, resolved = resolve_scenario(ref)
+    return _canonical(family, resolved)
+
+
+def build_scenario(
+    ref: str, *, seed: int = 0, scale: float = 1.0
+) -> HeteroGraph:
+    """Generate the graph of one scenario reference."""
+    family_name, overrides = parse_scenario(ref)
+    return get_scenario(family_name).build(
+        seed=seed, scale=scale, **overrides
+    )
+
+
+def describe_scenario(ref: str) -> dict[str, Any]:
+    """JSON-friendly description of one family or reference.
+
+    Includes the canonical form, the family doc, and per-parameter
+    name / default / resolved value / doc rows (resolved == default for
+    a bare family name).
+    """
+    family, resolved = resolve_scenario(ref)
+    return {
+        "family": family.name,
+        "canonical": _canonical(family, resolved),
+        "doc": family.doc,
+        "params": [
+            {
+                "name": p.name,
+                "default": p.default,
+                "value": resolved[p.name],
+                "doc": p.doc,
+            }
+            for p in family.params
+        ],
+    }

@@ -1,0 +1,100 @@
+"""One namespace over catalog datasets and scenario references.
+
+Everything downstream of dataset selection — spec validation, the grid
+runner, artifact-store addressing, the CLI — goes through these four
+functions instead of touching :data:`~repro.graph.datasets.DATASET_SPECS`
+or the scenario registry directly:
+
+- :func:`is_catalog_dataset` / :func:`canonical_workload` classify and
+  normalize a name (catalog names lower-case, scenario references in
+  canonical parameter form), failing eagerly with every known dataset
+  *and* family listed.
+- :func:`load_workload` builds the graph (catalog generator or
+  scenario builder), deterministically in ``(name, seed, scale)``.
+- :func:`workload_digest` produces the artifact-store digest of the
+  *resolved* workload: for scenarios it covers the full parameter
+  dict (defaults included), the seed and the scale, so changing any
+  sweep point — or a family's default — is a store miss even when the
+  textual name does not change; for catalog datasets it covers the
+  :class:`~repro.graph.datasets.DatasetSpec` recipe itself.
+"""
+
+from __future__ import annotations
+
+from repro.graph.datasets import DATASET_SPECS, load_dataset
+from repro.graph.hetero import HeteroGraph
+from repro.scenarios.registry import (
+    build_scenario,
+    canonical_scenario,
+    is_scenario_ref,
+    resolve_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "is_catalog_dataset",
+    "canonical_workload",
+    "load_workload",
+    "workload_digest",
+]
+
+
+def is_catalog_dataset(name: str) -> bool:
+    """Whether ``name`` is a Table 2 catalog dataset (not a scenario)."""
+    return isinstance(name, str) and name.lower() in DATASET_SPECS
+
+
+def canonical_workload(name: str) -> str:
+    """Validate one dataset/scenario name and return its canonical form.
+
+    Raises:
+        ValueError: unknown name, unknown scenario family, or malformed
+            scenario parameters.
+    """
+    if is_catalog_dataset(name):
+        return name.lower()
+    if is_scenario_ref(name):
+        return canonical_scenario(name)
+    known = ", ".join(sorted(DATASET_SPECS))
+    families = ", ".join(scenario_names())
+    raise ValueError(
+        f"unknown dataset {name!r}; known datasets: {known}; "
+        f"known scenario families (name or name:key=value,...): {families}"
+    )
+
+
+def load_workload(
+    name: str, *, seed: int = 0, scale: float = 1.0
+) -> HeteroGraph:
+    """Build the graph of one catalog dataset or scenario reference."""
+    if is_catalog_dataset(name):
+        return load_dataset(name, seed=seed, scale=scale)
+    if is_scenario_ref(name):
+        return build_scenario(name, seed=seed, scale=scale)
+    canonical_workload(name)  # raises with the full known-name listing
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def workload_digest(name: str, seed: int, scale: float) -> str:
+    """Artifact-store digest of one resolved workload.
+
+    Two names digest equally iff they generate bit-identical graphs:
+    the digest is computed from the resolved recipe (catalog
+    :class:`DatasetSpec` or scenario family + full parameter dict),
+    never from the spelling of ``name``.
+    """
+    from repro.platforms.store import config_digest
+
+    seed, scale = int(seed), float(scale)
+    if is_catalog_dataset(name):
+        return config_digest(
+            "dataset", name.lower(), DATASET_SPECS[name.lower()], seed, scale
+        )
+    family, resolved = resolve_scenario(name)
+    return config_digest(
+        "scenario",
+        family.name,
+        tuple(sorted(resolved.items())),
+        seed,
+        scale,
+    )

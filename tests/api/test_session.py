@@ -228,3 +228,89 @@ class TestWorkspaces:
         assert a.cells[0].time_ms != b.cells[0].time_ms or (
             a.cells[0] != b.cells[0]
         )
+
+
+class TestScenarioWorkloads:
+    """Sessions treat scenario sweep points like any other dataset."""
+
+    def scenario_spec(self, **overrides) -> ExperimentSpec:
+        return small_spec(
+            platforms=("t4", "hihgnn"),
+            datasets=(
+                "thrash:working_set=48,num_dst=6",
+                "uniform:num_dst=24,degree=2",
+            ),
+            scale=1.0,
+            **overrides,
+        )
+
+    def test_grid_runs_and_labels_cells(self):
+        grid = Session(self.scenario_spec()).run()
+        assert len(grid) == 4
+        datasets = {cell.dataset for cell in grid.cells}
+        assert datasets == {
+            "thrash:working_set=48,num_dst=6",
+            "uniform:num_dst=24,degree=2",
+        }
+
+    def test_topology_artifacts_warmed_and_shared(self):
+        session = Session(self.scenario_spec())
+        session.run()
+        runner = session.runner
+        assert set(runner._graphs) == set(self.scenario_spec().datasets)
+        assert set(runner._artifacts) == set(self.scenario_spec().datasets)
+        graph = session.graph("thrash:working_set=48,num_dst=6")
+        assert graph is runner._graphs["thrash:working_set=48,num_dst=6"]
+        # A second run re-uses the same warmed artifacts.
+        artifacts = dict(runner._artifacts)
+        session.run()
+        assert runner._artifacts == artifacts
+
+    def test_cold_then_warm_store_round_trip(self, tmp_path):
+        from repro.platforms import ArtifactStore
+
+        spec = self.scenario_spec()
+        cold = Session(spec, store=ArtifactStore(tmp_path))
+        cold_grid = cold.run()
+        assert cold.store.stats.misses == 4
+        warm = Session(spec, store=ArtifactStore(tmp_path))
+        warm_grid = warm.run()
+        assert warm.store.stats.hits == 4
+        assert warm.store.stats.misses == 0
+        assert not warm.runner._graphs  # no scenario was regenerated
+        assert warm_grid == cold_grid
+
+    def test_changed_sweep_point_misses_the_store(self, tmp_path):
+        from repro.platforms import ArtifactStore
+
+        Session(
+            self.scenario_spec(), store=ArtifactStore(tmp_path)
+        ).run()
+        shifted = small_spec(
+            platforms=("t4", "hihgnn"),
+            datasets=(
+                "thrash:working_set=49,num_dst=6",  # one vertex more
+                "uniform:num_dst=24,degree=2",
+            ),
+            scale=1.0,
+        )
+        second = Session(shifted, store=ArtifactStore(tmp_path))
+        second.run()
+        # The unchanged sweep point hits; the changed one re-simulates.
+        assert second.store.stats.hits == 2
+        assert second.store.stats.misses == 2
+
+    def test_changed_seed_misses_the_store(self, tmp_path):
+        from repro.platforms import ArtifactStore
+
+        spec = small_spec(
+            platforms=("t4",),
+            datasets=("uniform:num_dst=24,degree=2",),
+            scale=1.0,
+        )
+        Session(spec, store=ArtifactStore(tmp_path)).run()
+        reseeded = Session(
+            spec.replace(seed=spec.seed + 1), store=ArtifactStore(tmp_path)
+        )
+        reseeded.run()
+        assert reseeded.store.stats.hits == 0

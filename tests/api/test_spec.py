@@ -120,3 +120,49 @@ class TestRoundTrip:
         assert context.accelerator == spec.accelerator
         assert context.frontend == spec.frontend
         assert context.model_config == spec.model_config
+
+
+class TestScenarioDatasets:
+    """Scenario references ride the datasets axis of a spec."""
+
+    def test_mixed_catalog_and_scenarios_accepted(self):
+        spec = ExperimentSpec(
+            platforms=("t4",),
+            datasets=("acm", "skew:exponent=1.5", "thrash"),
+        )
+        assert spec.datasets == ("acm", "skew:exponent=1.5", "thrash")
+
+    def test_references_canonicalized_eagerly(self):
+        spec = ExperimentSpec(
+            platforms=("t4",),
+            datasets=("ACM", "skew:exponent=0.8", "skew:num_src=64, exponent=2"),
+        )
+        assert spec.datasets == ("acm", "skew", "skew:num_src=64,exponent=2.0")
+
+    def test_equivalent_spellings_share_one_grid_cell(self):
+        spec = ExperimentSpec(
+            platforms=("t4",),
+            models=("rgcn",),
+            datasets=("skew:exponent=0.8", "skew"),
+        )
+        assert spec.grid_size == 1
+
+    def test_unknown_family_fails_eagerly(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            ExperimentSpec(datasets=("acme:x=1",))
+
+    def test_unknown_parameter_fails_eagerly(self):
+        with pytest.raises(ValueError, match="no parameter 'bogus'"):
+            ExperimentSpec(datasets=("skew:bogus=3",))
+
+    def test_scenario_spec_round_trips(self):
+        spec = ExperimentSpec(
+            platforms=("t4",),
+            datasets=("acm", "skew:exponent=1.5"),
+            scale=0.25,
+        )
+        wire = json.loads(json.dumps(spec.to_dict()))
+        rebuilt = ExperimentSpec.from_dict(wire)
+        assert rebuilt == spec
+        assert rebuilt.datasets == ("acm", "skew:exponent=1.5")
+        assert rebuilt.to_dict() == spec.to_dict()

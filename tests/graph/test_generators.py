@@ -119,9 +119,170 @@ class TestCommunity:
         with pytest.raises(ValueError, match="num_blocks"):
             community_bipartite(10, 10, 5, num_blocks=0)
 
+    def test_zero_mixing_infeasible_request_rejected_eagerly(self):
+        # 10x10 with 5 pure blocks reaches only 5 * (2*2) = 20 pairs;
+        # asking for more must fail fast, not redraw forever.
+        with pytest.raises(ValueError, match="cannot reliably place"):
+            community_bipartite(10, 10, 21, num_blocks=5, mixing=0.0)
+        src, dst = community_bipartite(10, 10, 20, num_blocks=5, mixing=0.0)
+        assert len(src) == 20
+
+    def test_starved_mixing_rejected_eagerly(self):
+        # Within-block capacity covers 20 of 60 requested edges; at
+        # mixing=0.01 the ~40 cross edges would take pathologically
+        # many redraw rounds — fail fast instead of spinning.
+        with pytest.raises(ValueError, match="cannot reliably place"):
+            community_bipartite(10, 10, 60, num_blocks=5, mixing=0.01)
+        # Ample mixing makes the same request fine.
+        src, dst = community_bipartite(10, 10, 60, num_blocks=5, mixing=0.9)
+        assert len(src) == 60
+
     def test_blocks_capped_to_sides(self):
         src, dst = community_bipartite(3, 50, 30, num_blocks=16, seed=1)
         assert len(src) == 30
+
+
+class TestSeededSweepProperties:
+    """Property-based sweeps over the full generator parameter space.
+
+    The scenario catalog generates workloads on demand from these
+    functions, so the invariants the catalog relies on — exact edge
+    counts, normalized weights, bit-identical regeneration from one
+    seed, and id-degree decorrelation under a shuffling rng — are
+    pinned here over randomized (size, skew, seed) sweeps.
+    """
+
+    @given(
+        n=st.integers(1, 500),
+        exponent=st.floats(0.0, 2.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weights_normalize_and_stay_positive(self, n, exponent):
+        weights = power_law_weights(n, exponent)
+        assert weights.shape == (n,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights > 0).all()
+        # Unshuffled weights descend: rank i is at least as hot as i+1.
+        assert (np.diff(weights) <= 1e-15).all()
+
+    @given(
+        n=st.integers(2, 500),
+        exponent=st.floats(0.0, 2.5),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shuffled_weights_normalize_identically(self, n, exponent, seed):
+        shuffled = power_law_weights(
+            n, exponent, np.random.default_rng(seed)
+        )
+        assert shuffled.sum() == pytest.approx(1.0)
+        assert np.allclose(
+            np.sort(shuffled), np.sort(power_law_weights(n, exponent))
+        )
+
+    @given(
+        n_src=st.integers(2, 40),
+        n_dst=st.integers(2, 40),
+        frac=st.floats(0.05, 0.8),
+        exponent=st.floats(0.0, 1.2),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_chung_lu_edge_count_matches_target(
+        self, n_src, n_dst, frac, exponent, seed
+    ):
+        n_edges = max(1, int(n_src * n_dst * frac))
+        src, dst = chung_lu_bipartite(
+            n_src,
+            n_dst,
+            n_edges,
+            src_exponent=exponent,
+            dst_exponent=exponent,
+            seed=seed,
+        )
+        assert len(src) == len(dst) == n_edges
+
+    @given(
+        n_src=st.integers(2, 60),
+        n_dst=st.integers(2, 60),
+        frac=st.floats(0.05, 0.6),
+        blocks=st.integers(1, 12),
+        mixing=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_community_edge_count_matches_target(
+        self, n_src, n_dst, frac, blocks, mixing, seed
+    ):
+        # With little or no mixing only within-block pairs are (or are
+        # reliably) reachable; bound the request by that capacity,
+        # which is deterministic in the sizes (membership is shuffled,
+        # block sizes are not).
+        b = min(blocks, n_src, n_dst)
+        src_sizes = np.bincount(np.arange(n_src) % b, minlength=b)
+        dst_sizes = np.bincount(np.arange(n_dst) % b, minlength=b)
+        reachable = int((src_sizes * dst_sizes).sum())
+        n_edges = min(max(1, int(n_src * n_dst * frac)), reachable)
+        src, dst = community_bipartite(
+            n_src, n_dst, n_edges, num_blocks=blocks, mixing=mixing, seed=seed
+        )
+        assert len(src) == n_edges
+        assert len({(s, d) for s, d in zip(src.tolist(), dst.tolist())}) == (
+            n_edges
+        )
+
+    @pytest.mark.parametrize(
+        "generator,kwargs",
+        [
+            (chung_lu_bipartite, dict(src_exponent=1.1, dst_exponent=0.4)),
+            (community_bipartite, dict(num_blocks=6, mixing=0.2)),
+        ],
+    )
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_bit_identical(self, generator, kwargs, seed):
+        a = generator(37, 23, 150, seed=seed, **kwargs)
+        b = generator(37, 23, 150, seed=seed, **kwargs)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+        assert a[0].dtype == np.int64 and a[1].dtype == np.int64
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_configuration_same_seed_bit_identical(self, seed):
+        src_deg = np.array([5, 3, 2, 2, 1, 1, 1, 1])
+        dst_deg = np.array([4, 4, 3, 2, 2, 1])
+        a = configuration_bipartite(src_deg, dst_deg, seed=seed)
+        b = configuration_bipartite(src_deg, dst_deg, seed=seed)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_id_degree_decorrelated_when_rng_given(self, seed):
+        """With a shuffling rng, low vertex ids are not the hot ones."""
+        n = 400
+        weights = power_law_weights(
+            n, 1.5, np.random.default_rng(seed)
+        )
+        ids = np.arange(n)
+        # Rank correlation between id and weight is near zero for a
+        # uniform shuffle (bound is ~8 sigma for n=400).
+        rank = np.empty(n)
+        rank[np.argsort(weights)] = ids
+        corr = np.corrcoef(ids, rank)[0, 1]
+        assert abs(corr) < 0.4
+        # And the hottest decile is not id-clustered at the front,
+        # unlike the unshuffled weights (where it is exactly 0..39).
+        hot = np.argsort(weights)[-n // 10:]
+        assert hot.mean() > n * 0.15
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_unshuffled_weights_are_id_correlated(self, seed):
+        """Control: without an rng, vertex id 0 is always hottest."""
+        weights = power_law_weights(400, 1.5)
+        assert weights.argmax() == 0
 
 
 class TestConfiguration:

@@ -1,0 +1,200 @@
+"""Built-in scenario families: shapes, determinism, sweep semantics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import DATASET_SPECS
+from repro.graph.semantic import build_semantic_graphs
+from repro.graph.stats import gini
+from repro.scenarios import build_scenario, scenario_names
+
+#: One cheap sweep point per family (used by the generic tests).
+TINY_REFS = (
+    "scale:base=imdb,factor=0.05",
+    "skew:num_src=96,num_dst=64,num_edges=512",
+    "relations:num_relations=3,vertices_per_type=48,edges_per_relation=96",
+    "community:num_src=64,num_dst=64,num_edges=256",
+    "thrash:working_set=48,num_dst=6",
+    "uniform:num_dst=32,degree=2",
+    "star:num_leaves=64,num_hubs=2",
+)
+
+
+class TestEveryFamily:
+    def test_tiny_refs_cover_all_builtins(self):
+        covered = {ref.partition(":")[0] for ref in TINY_REFS}
+        assert covered == set(scenario_names())
+
+    @pytest.mark.parametrize("ref", TINY_REFS)
+    def test_builds_heterogeneous_graph(self, ref):
+        graph = build_scenario(ref, seed=3)
+        assert graph.is_heterogeneous
+        assert graph.num_edges() > 0
+        if not ref.startswith("uniform"):
+            # Both edge directions, Table 2 style (uniform is
+            # single-direction by design: a reverse relation would
+            # reintroduce feature reuse).
+            pairs = {(r.src_type, r.dst_type) for r in graph.relations}
+            assert all((d, s) in pairs for s, d in pairs)
+
+    @pytest.mark.parametrize("ref", TINY_REFS)
+    def test_same_seed_bit_identical(self, ref):
+        a = build_scenario(ref, seed=11)
+        b = build_scenario(ref, seed=11)
+        assert a.name == b.name
+        assert a.relations == b.relations
+        for rel in a.relations:
+            sa, da = a.edges_of(rel)
+            sb, db = b.edges_of(rel)
+            assert np.array_equal(sa, sb) and np.array_equal(da, db)
+
+    @pytest.mark.parametrize("ref", TINY_REFS)
+    def test_different_seed_different_graph(self, ref):
+        if ref.startswith("thrash"):
+            pytest.skip("thrash is seed-free by construction")
+        a = build_scenario(ref, seed=1)
+        b = build_scenario(ref, seed=2)
+        assert any(
+            not np.array_equal(a.edges_of(rel)[0], b.edges_of(rel)[0])
+            or not np.array_equal(a.edges_of(rel)[1], b.edges_of(rel)[1])
+            for rel in a.relations
+        )
+
+    @pytest.mark.parametrize("ref", TINY_REFS)
+    def test_scale_shrinks_the_graph(self, ref):
+        full = build_scenario(ref, seed=1, scale=1.0)
+        half = build_scenario(ref, seed=1, scale=0.5)
+        assert half.num_vertices() < full.num_vertices()
+
+    @pytest.mark.parametrize("ref", TINY_REFS)
+    def test_semantic_graphs_build(self, ref):
+        graph = build_scenario(ref, seed=1)
+        sgs = build_semantic_graphs(graph)
+        assert len(sgs) == len(graph.relations)
+        for sg in sgs:
+            assert len(sg.na_trace()) == sg.num_edges
+
+
+class TestScaleFamily:
+    def test_factor_scales_vertices_and_edges(self):
+        small = build_scenario("scale:base=imdb,factor=0.05", seed=1)
+        large = build_scenario("scale:base=imdb,factor=0.1", seed=1)
+        assert large.num_vertices() > small.num_vertices()
+        assert large.num_edges() > small.num_edges()
+
+    def test_factor_one_matches_catalog_counts(self):
+        graph = build_scenario("scale:base=imdb,factor=0.1", seed=1)
+        spec = DATASET_SPECS["imdb"]
+        for vtype, count in spec.num_vertices.items():
+            assert graph.num_vertices(vtype) == max(2, round(count * 0.1))
+
+    def test_factor_above_one_grows_past_catalog(self):
+        graph = build_scenario("scale:base=acm,factor=2", seed=1, scale=0.05)
+        base = build_scenario("scale:base=acm,factor=1", seed=1, scale=0.05)
+        assert graph.num_vertices() > base.num_vertices()
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ValueError, match="not a catalog dataset"):
+            build_scenario("scale:base=acme")
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            build_scenario("scale:factor=0")
+
+
+class TestSkewFamily:
+    def test_exponent_increases_degree_concentration(self):
+        flat = build_scenario(
+            "skew:num_src=512,num_dst=256,num_edges=2048,exponent=0.0", seed=5
+        )
+        steep = build_scenario(
+            "skew:num_src=512,num_dst=256,num_edges=2048,exponent=2.0", seed=5
+        )
+
+        def src_gini(graph):
+            rel = next(r for r in graph.relations if r.src_type == "src")
+            src, _ = graph.edges_of(rel)
+            return gini(np.bincount(src, minlength=graph.num_vertices("src")))
+
+        assert src_gini(steep) > src_gini(flat) + 0.1
+
+    def test_edge_count_close_to_target(self):
+        # The configuration model drops duplicate stubs, so realized
+        # edges are bounded by — and close to — the request.
+        graph = build_scenario("skew:num_src=256,num_dst=128,num_edges=500")
+        rel = next(r for r in graph.relations if r.src_type == "src")
+        assert 0.8 * 500 <= graph.num_edges(rel) <= 500
+
+    def test_full_exponent_range_feasible(self):
+        for exponent in (0.0, 0.5, 1.0, 1.5, 2.0):
+            graph = build_scenario(
+                f"skew:num_src=256,num_dst=128,num_edges=1024,"
+                f"exponent={exponent}",
+                seed=7,
+            )
+            assert graph.num_edges() > 0
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError, match="exponent"):
+            build_scenario("skew:exponent=-1")
+
+
+class TestRelationsFamily:
+    def test_relation_count_is_the_axis(self):
+        three = build_scenario(
+            "relations:num_relations=3,vertices_per_type=32,edges_per_relation=64"
+        )
+        five = build_scenario(
+            "relations:num_relations=5,vertices_per_type=32,edges_per_relation=64"
+        )
+        # Forward + reverse per base relation.
+        assert len(three.relations) == 6
+        assert len(five.relations) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_types"):
+            build_scenario("relations:num_types=1")
+        with pytest.raises(ValueError, match="num_relations"):
+            build_scenario("relations:num_relations=0")
+
+
+class TestStressFamilies:
+    def test_thrash_trace_is_cyclic_scan(self):
+        graph = build_scenario("thrash:working_set=40,num_dst=5")
+        rel = next(r for r in graph.relations if r.src_type == "src")
+        sg = next(
+            s for s in build_semantic_graphs(graph) if s.relation == rel
+        )
+        trace = sg.na_trace() - sg.src_global_base
+        expected = np.tile(np.arange(40, dtype=np.int64), 5)
+        assert np.array_equal(trace, expected)
+
+    def test_uniform_has_no_reuse(self):
+        graph = build_scenario("uniform:num_dst=64,degree=3")
+        for sg in build_semantic_graphs(graph):
+            trace = sg.na_trace()
+            assert len(np.unique(trace)) == len(trace)
+
+    def test_uniform_rejects_bad_degree(self):
+        with pytest.raises(ValueError, match="degree"):
+            build_scenario("uniform:degree=0")
+
+    def test_star_single_hub_sees_every_leaf(self):
+        graph = build_scenario("star:num_leaves=96,num_hubs=1")
+        rel = next(r for r in graph.relations if r.src_type == "leaf")
+        src, dst = graph.edges_of(rel)
+        assert len(src) == 96
+        assert (dst == 0).all()
+        assert len(np.unique(src)) == 96
+
+    def test_star_hub_loads_balanced(self):
+        graph = build_scenario("star:num_leaves=100,num_hubs=4")
+        rel = next(r for r in graph.relations if r.src_type == "leaf")
+        _, dst = graph.edges_of(rel)
+        loads = np.bincount(dst, minlength=4)
+        assert loads.sum() == 100
+        assert loads.min() >= 100 // 4
+
+    def test_star_rejects_bad_hubs(self):
+        with pytest.raises(ValueError, match="num_hubs"):
+            build_scenario("star:num_hubs=0")

@@ -1,0 +1,215 @@
+"""Scenario registry: registration, parsing, canonicalization, describe."""
+
+import numpy as np
+import pytest
+
+from repro.graph.hetero import HeteroGraph, Relation
+from repro.scenarios import (
+    ScenarioParam,
+    build_scenario,
+    canonical_scenario,
+    describe_scenario,
+    get_scenario,
+    is_scenario_ref,
+    parse_scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+
+#: Every family the issue requires, and then some.
+BUILTIN_FAMILIES = (
+    "scale",
+    "skew",
+    "relations",
+    "community",
+    "thrash",
+    "uniform",
+    "star",
+)
+
+
+def _tiny_graph(*, seed, scale, n):
+    rel = Relation("a", "r", "b")
+    src = np.arange(n, dtype=np.int64)
+    return HeteroGraph(
+        num_vertices={"a": n, "b": n},
+        feature_dims={"a": 4, "b": 4},
+        edges={rel: (src, src)},
+    )
+
+
+class TestBuiltins:
+    def test_at_least_six_families_registered(self):
+        names = scenario_names()
+        assert len(names) >= 6
+        for family in BUILTIN_FAMILIES:
+            assert family in names
+
+    def test_every_family_describes(self):
+        for family in scenario_names():
+            entry = describe_scenario(family)
+            assert entry["family"] == family
+            assert entry["doc"], f"{family} has no description"
+            assert entry["canonical"] == family
+            for param in entry["params"]:
+                assert param["value"] == param["default"]
+
+    def test_every_family_lists_parameters(self):
+        for family in BUILTIN_FAMILIES:
+            assert get_scenario(family).params, f"{family} has no params"
+
+
+class TestParse:
+    def test_bare_family(self):
+        assert parse_scenario("skew") == ("skew", {})
+
+    def test_overrides(self):
+        family, overrides = parse_scenario("skew:exponent=1.5,num_src=64")
+        assert family == "skew"
+        assert overrides == {"exponent": "1.5", "num_src": "64"}
+
+    def test_whitespace_and_case_tolerated(self):
+        family, overrides = parse_scenario(" Skew : exponent = 1.5 ")
+        assert family == "skew"
+        assert overrides == {"exponent": "1.5"}
+
+    @pytest.mark.parametrize(
+        "ref", ["", "  ", ":x=1", "skew:exponent", "skew:=1", "skew:expo="]
+    )
+    def test_malformed_rejected(self, ref):
+        with pytest.raises(ValueError):
+            parse_scenario(ref)
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_scenario("skew:exponent=1,exponent=2")
+
+    def test_is_scenario_ref(self):
+        assert is_scenario_ref("skew")
+        assert is_scenario_ref("skew:exponent=1.5")
+        assert is_scenario_ref("nosuch:exponent=1.5")  # syntax, not lookup
+        assert not is_scenario_ref("acm")
+        assert not is_scenario_ref("nosuch")
+        assert not is_scenario_ref(3)
+
+
+class TestResolve:
+    def test_defaults_filled(self):
+        family, resolved = resolve_scenario("skew")
+        assert family.name == "skew"
+        assert resolved["exponent"] == 0.8
+        assert resolved["num_src"] == 2048
+
+    def test_coercion_to_declared_types(self):
+        _, resolved = resolve_scenario("skew:exponent=2,num_src=128")
+        assert isinstance(resolved["exponent"], float)
+        assert resolved["exponent"] == 2.0
+        assert isinstance(resolved["num_src"], int)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            resolve_scenario("nosuch:x=1")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="no parameter 'bogus'"):
+            resolve_scenario("skew:bogus=1")
+
+    def test_bad_int_value(self):
+        with pytest.raises(ValueError, match="expects int"):
+            resolve_scenario("skew:num_src=1.5")
+
+    def test_bad_float_value(self):
+        with pytest.raises(ValueError, match="expects float"):
+            resolve_scenario("skew:exponent=hot")
+
+
+class TestCanonical:
+    def test_defaults_drop_out(self):
+        assert canonical_scenario("skew:exponent=0.8") == "skew"
+        assert canonical_scenario("skew") == "skew"
+
+    def test_declared_order_and_value_spelling(self):
+        a = canonical_scenario("skew:num_src=64,exponent=2")
+        b = canonical_scenario("skew:exponent=2.0, num_src = 64")
+        assert a == b == "skew:num_src=64,exponent=2.0"
+
+    def test_distinct_points_stay_distinct(self):
+        assert canonical_scenario("skew:exponent=1.5") != canonical_scenario(
+            "skew:exponent=0.5"
+        )
+
+
+class TestRegisterDecorator:
+    def test_register_build_unregister(self):
+        @register_scenario(
+            "tmp-ring",
+            params=(ScenarioParam("n", 8, "vertex count"),),
+            doc="test family",
+        )
+        def build(*, seed, scale, n):
+            return _tiny_graph(seed=seed, scale=scale, n=n)
+
+        try:
+            assert "tmp-ring" in scenario_names()
+            graph = build_scenario("tmp-ring:n=5")
+            assert graph.num_vertices("a") == 5
+            assert graph.name == "tmp-ring:n=5"
+        finally:
+            unregister_scenario("tmp-ring")
+        assert "tmp-ring" not in scenario_names()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_scenario("skew")
+            def clash(*, seed, scale):  # pragma: no cover
+                raise AssertionError
+
+    def test_catalog_dataset_name_rejected(self):
+        # Catalog names win workload lookups, so such a family would
+        # silently run the Table 2 dataset instead of the builder.
+        with pytest.raises(ValueError, match="collides with a catalog"):
+
+            @register_scenario("acm")
+            def shadow(*, seed, scale):  # pragma: no cover
+                raise AssertionError
+
+    def test_large_int_overrides_exact(self):
+        # 2**53 + 1 is not float-representable; int params must not
+        # round-trip through float.
+        big = 2**53 + 1
+        _, resolved = resolve_scenario(f"skew:num_src={big}")
+        assert resolved["num_src"] == big
+        # Float-literal spellings still coerce (exactly) when integral.
+        _, resolved = resolve_scenario("skew:num_src=2e3")
+        assert resolved["num_src"] == 2000
+        with pytest.raises(ValueError, match="expects int"):
+            resolve_scenario("skew:num_src=1.5")
+
+    def test_reserved_characters_rejected(self):
+        for bad in ("a:b", "a,b", "a=b"):
+            with pytest.raises(ValueError, match="must not contain"):
+
+                @register_scenario(bad)
+                def build(*, seed, scale):  # pragma: no cover
+                    raise AssertionError
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+
+            @register_scenario(
+                "tmp-dup",
+                params=(ScenarioParam("n", 1), ScenarioParam("n", 2)),
+            )
+            def build(*, seed, scale, n):  # pragma: no cover
+                raise AssertionError
+
+    def test_graph_renamed_to_canonical(self):
+        graph = build_scenario("thrash:working_set=16,num_dst=4")
+        assert graph.name == "thrash:working_set=16,num_dst=4"
+
+    def test_build_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            build_scenario("skew", scale=0.0)

@@ -1,0 +1,98 @@
+"""Workload namespace: classification, loading, store digests."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.scenarios import (
+    canonical_workload,
+    is_catalog_dataset,
+    load_workload,
+    workload_digest,
+)
+
+
+class TestClassification:
+    def test_catalog_names(self):
+        assert is_catalog_dataset("acm")
+        assert is_catalog_dataset("DBLP")
+        assert not is_catalog_dataset("skew")
+        assert not is_catalog_dataset("skew:exponent=1.5")
+
+    def test_canonical_catalog(self):
+        assert canonical_workload("ACM") == "acm"
+
+    def test_canonical_scenario(self):
+        assert (
+            canonical_workload("skew:exponent=2, num_src=64")
+            == "skew:num_src=64,exponent=2.0"
+        )
+
+    def test_unknown_name_lists_both_namespaces(self):
+        with pytest.raises(ValueError, match="unknown dataset 'acme'") as exc:
+            canonical_workload("acme")
+        message = str(exc.value)
+        assert "dblp" in message
+        assert "skew" in message  # scenario families are suggested too
+
+    def test_unknown_family_with_params(self):
+        with pytest.raises(ValueError, match="unknown scenario family"):
+            canonical_workload("acme:x=1")
+
+
+class TestLoading:
+    def test_catalog_dispatch_matches_load_dataset(self):
+        via_workload = load_workload("imdb", seed=3, scale=0.05)
+        direct = load_dataset("imdb", seed=3, scale=0.05)
+        assert via_workload.name == direct.name
+        for rel in direct.relations:
+            a = via_workload.edges_of(rel)
+            b = direct.edges_of(rel)
+            assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_scenario_dispatch(self):
+        graph = load_workload("thrash:working_set=16,num_dst=4", seed=1)
+        assert graph.name == "thrash:working_set=16,num_dst=4"
+        assert graph.num_vertices("src") == 16
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_workload("acme")
+
+
+class TestDigest:
+    def test_spelling_invariant(self):
+        a = workload_digest("skew:exponent=2,num_src=64", 1, 0.3)
+        b = workload_digest("skew:num_src=64,exponent=2.0", 1, 0.3)
+        assert a == b
+
+    def test_defaults_explicit_or_implicit(self):
+        assert workload_digest("skew", 1, 0.3) == workload_digest(
+            "skew:exponent=0.8", 1, 0.3
+        )
+
+    def test_parameter_change_changes_digest(self):
+        base = workload_digest("skew:exponent=1.0", 1, 0.3)
+        assert workload_digest("skew:exponent=1.5", 1, 0.3) != base
+        assert workload_digest("skew:num_src=4096,exponent=1.0", 1, 0.3) != base
+
+    def test_seed_and_scale_change_digest(self):
+        base = workload_digest("skew", 1, 0.3)
+        assert workload_digest("skew", 2, 0.3) != base
+        assert workload_digest("skew", 1, 0.5) != base
+
+    def test_catalog_digests_distinct(self):
+        assert workload_digest("acm", 1, 0.3) != workload_digest(
+            "imdb", 1, 0.3
+        )
+        assert workload_digest("acm", 1, 0.3) != workload_digest("acm", 2, 0.3)
+
+    def test_scenario_vs_catalog_namespaces_disjoint(self):
+        # A hypothetical family named like a dataset could never
+        # collide: catalog digests hash the DatasetSpec recipe.
+        assert workload_digest("acm", 1, 1.0) != workload_digest(
+            "scale:base=acm", 1, 1.0
+        )
+
+    def test_int_float_seed_scale_normalized(self):
+        assert workload_digest("skew", 1, 1) == workload_digest("skew", 1, 1.0)

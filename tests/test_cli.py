@@ -241,3 +241,137 @@ class TestJsonFormat:
         doc = self._json(capsys, ["area", "--format", "json"])
         assert 0 < doc["shares"]["gdr_area_share"] < 0.1
         assert {c["block"] for c in doc["components"]} == {"hihgnn", "gdr"}
+
+
+class TestScenariosCommand:
+    """`repro scenarios list/describe` covers the whole catalog."""
+
+    def _json(self, capsys, argv):
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_list_names_every_family(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert len(scenario_names()) >= 6
+        for family in scenario_names():
+            assert family in out
+
+    def test_list_json(self, capsys):
+        from repro.scenarios import scenario_names
+
+        doc = self._json(capsys, ["scenarios", "list", "--format", "json"])
+        names = [entry["family"] for entry in doc["scenarios"]]
+        assert names == list(scenario_names())
+        for entry in doc["scenarios"]:
+            assert entry["doc"]
+            assert entry["params"]
+
+    def test_describe_table(self, capsys):
+        assert main(["scenarios", "describe", "skew:exponent=1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "canonical: skew:exponent=1.5" in out
+        assert "exponent" in out and "num_src" in out
+
+    def test_describe_json_resolves_values(self, capsys):
+        doc = self._json(capsys, [
+            "scenarios", "describe", "thrash:working_set=96",
+            "--format", "json",
+        ])
+        assert doc["family"] == "thrash"
+        assert doc["canonical"] == "thrash:working_set=96"
+        values = {p["name"]: p["value"] for p in doc["params"]}
+        assert values["working_set"] == 96
+        assert values["num_dst"] == 64  # default untouched
+
+    def test_describe_every_builtin(self, capsys):
+        from repro.scenarios import scenario_names
+
+        for family in scenario_names():
+            doc = self._json(capsys, [
+                "scenarios", "describe", family, "--format", "json",
+            ])
+            assert doc["family"] == family
+
+    def test_describe_unknown_family_errors(self, capsys):
+        assert main(["scenarios", "describe", "acme:x=1"]) == 2
+        assert "unknown scenario family" in capsys.readouterr().err
+
+    def test_describe_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+
+class TestEvaluateScenario:
+    """`evaluate --scenario` feeds sweep points into the grid."""
+
+    def test_scenario_only_grid_drops_catalog_default(self, capsys):
+        assert main([
+            "evaluate", "--scenario", "uniform:num_dst=24,degree=2",
+            "--models", "rgcn", "--platforms", "t4", "--scale", "1.0",
+            "--no-cache", "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [c["dataset"] for c in doc["grid"]["cells"]] == [
+            "uniform:num_dst=24,degree=2"
+        ]
+
+    def test_scenarios_combine_with_datasets(self, capsys):
+        assert main([
+            "evaluate", "--scenario", "thrash:working_set=32,num_dst=4",
+            "--datasets", "acm", "--models", "rgcn", "--platforms", "t4",
+            "--scale", "0.05", "--no-cache", "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [c["dataset"] for c in doc["grid"]["cells"]] == [
+            "acm", "thrash:working_set=32,num_dst=4"
+        ]
+
+    def test_repeatable_flag(self, capsys):
+        assert main([
+            "evaluate",
+            "--scenario", "uniform:num_dst=16,degree=2",
+            "--scenario", "star:num_leaves=48,num_hubs=2",
+            "--models", "rgcn", "--platforms", "t4", "--scale", "1.0",
+            "--no-cache", "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [c["dataset"] for c in doc["grid"]["cells"]] == [
+            "uniform:num_dst=16,degree=2", "star:num_leaves=48,num_hubs=2"
+        ]
+
+    def test_malformed_scenario_errors_cleanly(self, capsys):
+        assert main([
+            "evaluate", "--scenario", "skew:bogus=1", "--no-cache",
+        ]) == 2
+        assert "no parameter 'bogus'" in capsys.readouterr().err
+
+    def test_bare_family_via_datasets_flag(self, capsys):
+        assert main([
+            "evaluate", "--datasets", "uniform", "--models", "rgcn",
+            "--platforms", "t4", "--scale", "0.02", "--no-cache",
+        ]) == 0
+        assert "uniform" in capsys.readouterr().out
+
+    def test_thrash_command_accepts_scenario(self, capsys):
+        assert main([
+            "thrash", "--dataset", "thrash:working_set=48,num_dst=6",
+            "--scale", "1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NA hit ratio" in out
+
+    def test_restructure_command_accepts_scenario(self, capsys):
+        assert main([
+            "restructure", "--dataset", "community:num_src=48,num_dst=48,num_edges=128",
+            "--scale", "1.0",
+        ]) == 0
+        assert "backbone" in capsys.readouterr().out
+
+    def test_restructure_bad_dataset_errors_cleanly(self, capsys):
+        assert main(["restructure", "--dataset", "skew:bogus=1"]) == 2
+        assert "no parameter 'bogus'" in capsys.readouterr().err
+        assert main(["restructure", "--dataset", "acme"]) == 2
+        assert "unknown dataset 'acme'" in capsys.readouterr().err

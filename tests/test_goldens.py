@@ -1,0 +1,87 @@
+"""Golden regression: scenario ``evaluate --format json`` output.
+
+Two tiny scenario grids are pinned byte-for-byte in ``tests/goldens/``.
+Each case is executed twice against one artifact store — cold (every
+cell simulated) and store-warm (every cell served from typed payloads)
+— and both outputs must equal the checked-in document exactly. This is
+the end-to-end determinism contract: the JSON document is a pure
+function of the spec, independent of cache state, worker count and
+process boundaries.
+
+Regenerate after an intentional simulator change with::
+
+    REPRO_UPDATE_GOLDENS=1 python -m pytest tests/test_goldens.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Golden file -> evaluate invocation (cache flags appended per run).
+CASES = {
+    "evaluate_uniform.json": [
+        "evaluate",
+        "--scenario", "uniform:num_dst=32,degree=2",
+        "--models", "rgcn",
+        "--platforms", "t4,hihgnn",
+        "--scale", "1.0",
+        "--seed", "1",
+        "--format", "json",
+    ],
+    "evaluate_thrash_star.json": [
+        "evaluate",
+        "--scenario", "thrash:working_set=64,num_dst=8",
+        "--scenario", "star:num_leaves=96,num_hubs=2",
+        "--models", "rgcn",
+        "--platforms", "t4,hihgnn+gdr",
+        "--scale", "1.0",
+        "--seed", "1",
+        "--format", "json",
+    ],
+}
+
+
+def _run(argv: list[str], capsys) -> str:
+    capsys.readouterr()  # drop anything buffered
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_byte_identical_cold_and_warm(name, tmp_path, capsys):
+    argv = CASES[name] + ["--cache-dir", str(tmp_path)]
+    golden_path = GOLDEN_DIR / name
+
+    cold = _run(argv, capsys)
+    json.loads(cold)  # the document must at minimum be valid JSON
+
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(cold)
+
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; run with REPRO_UPDATE_GOLDENS=1 "
+        "to create it"
+    )
+    golden = golden_path.read_text()
+    assert cold == golden, (
+        f"cold run diverged from {name}; if the simulator change is "
+        "intentional, regenerate with REPRO_UPDATE_GOLDENS=1"
+    )
+
+    warm = _run(argv, capsys)
+    assert warm == golden, (
+        f"store-warm rerun diverged from {name}: persisted cell "
+        "payloads no longer reproduce the cold computation"
+    )
+
+
+def test_goldens_have_no_strays():
+    """Every checked-in golden corresponds to a case (and vice versa)."""
+    assert {p.name for p in GOLDEN_DIR.glob("*.json")} == set(CASES)
