@@ -17,7 +17,7 @@ Maps the graph restructuring method into microarchitecture:
 """
 
 from repro.frontend.config import GDRConfig
-from repro.frontend.hashtable import HashTable
+from repro.frontend.hashtable import HashTable, count_fifo_conflicts
 from repro.frontend.bitmap import Bitmap
 from repro.frontend.decoupler import Decoupler, DecouplerReport
 from repro.frontend.recoupler import Recoupler, RecouplerReport
@@ -26,6 +26,7 @@ from repro.frontend.gdr import FrontendReport, GDRFrontend, GDRHGNNSystem
 __all__ = [
     "GDRConfig",
     "HashTable",
+    "count_fifo_conflicts",
     "Bitmap",
     "Decoupler",
     "DecouplerReport",

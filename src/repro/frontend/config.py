@@ -56,11 +56,31 @@ class GDRConfig:
             self.entry_bytes,
         ) <= 0:
             raise ValueError("storage sizes must be positive")
+        if self.hash_ways <= 0:
+            raise ValueError("hash_ways must be positive")
+        if self.fifo_entries < self.hash_ways:
+            raise ValueError(
+                f"fifo_bytes provides only {self.fifo_entries} FIFO "
+                f"entries, fewer than hash_ways={self.hash_ways}: the "
+                "hash table cannot fill even one set from the physical "
+                "FIFO pool"
+            )
 
     @property
     def fifo_entries(self) -> int:
         """Total vertex-id slots across all matching FIFOs."""
         return self.fifo_bytes // self.entry_bytes
+
+    @property
+    def hash_sets(self) -> int:
+        """Hash-table sets backing the FIFO pool.
+
+        Rounded down so the modeled slot capacity
+        (``hash_sets * hash_ways``) never exceeds the physical
+        ``fifo_entries``; ``__post_init__`` guarantees at least one
+        full set.
+        """
+        return self.fifo_entries // self.hash_ways
 
     @property
     def candidate_entries(self) -> int:

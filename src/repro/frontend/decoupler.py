@@ -15,16 +15,41 @@ the algorithm's measured event counts:
   (counted in the matching counters),
 - the input topology is streamed once from DRAM (8 B per edge: two
   32-bit vertex ids).
+
+Counter provenance (who increments what):
+
+- ``edges_scanned``, ``fifo_pushes``, ``fifo_pops``, ``search_steps``
+  and ``augmenting_paths`` come from the matching engine's
+  :class:`~repro.restructure.matching.MatchingCounters` -- pushes
+  count both ``Search_List`` entries and ``Matching_FIFO`` stagings,
+  pops count search-list pops plus the stale-claim pops of each
+  augmenting flip.
+- ``hash_conflicts`` comes from replaying the destination stream
+  through the set-associative FIFO-allocation table.
+- ``cycles`` combines them: edge scans at ``edges_per_cycle``
+  throughput, one cycle per FIFO pop (path flips serialize on pops),
+  ``decouple_stall_penalty`` cycles per hash conflict, and one
+  bookkeeping cycle per search step.
+
+By default both the matching and the conflict replay run on the
+vectorized engines (:func:`repro.restructure.matching_vec.maximum_matching_vec`,
+:func:`repro.frontend.hashtable.count_fifo_conflicts`); ``naive=True``
+selects the original per-edge formulations. The two paths are
+bit-identical -- same matching, same counters, same report -- which
+the differential suite in ``tests/restructure/test_matching_vec.py``
+locks in across the scenario catalog.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.frontend.config import GDRConfig
-from repro.frontend.hashtable import HashTable
+from repro.frontend.hashtable import HashTable, count_fifo_conflicts
 from repro.graph.semantic import SemanticGraph
 from repro.restructure.matching import MatchingResult, maximum_matching_fifo
+from repro.restructure.matching_vec import maximum_matching_vec
 
 __all__ = ["DecouplerReport", "Decoupler"]
 
@@ -43,39 +68,68 @@ class DecouplerReport:
     augmenting_paths: int
 
     @property
-    def edges_per_cycle_achieved(self) -> float:
+    def pushes_per_cycle_achieved(self) -> float:
+        """Sustained FIFO-push throughput (pushes per cycle)."""
         if self.cycles == 0:
             return 0.0
         return self.fifo_pushes / self.cycles
 
+    @property
+    def edges_per_cycle_achieved(self) -> float:
+        """Deprecated alias of :attr:`pushes_per_cycle_achieved`.
+
+        The ratio always divided ``fifo_pushes`` by cycles despite the
+        name; use the accurately-named property instead.
+        """
+        warnings.warn(
+            "DecouplerReport.edges_per_cycle_achieved divides fifo_pushes "
+            "by cycles; use pushes_per_cycle_achieved",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.pushes_per_cycle_achieved
+
 
 class Decoupler:
-    """Hardware model wrapping the Algorithm 1 dataflow."""
+    """Hardware model wrapping the Algorithm 1 dataflow.
 
-    def __init__(self, config: GDRConfig | None = None) -> None:
+    Args:
+        config: frontend microarchitecture parameters.
+        naive: run the original per-edge matching loop and hash-table
+            replay instead of the vectorized engines (bit-identical
+            output, reference path).
+    """
+
+    def __init__(self, config: GDRConfig | None = None, *, naive: bool = False) -> None:
         self.config = config or GDRConfig()
+        self.naive = naive
 
     def run(self, graph: SemanticGraph) -> tuple[MatchingResult, DecouplerReport]:
         """Decouple ``graph``; returns the matching and its cost.
 
-        The functional result comes from the faithful FIFO formulation
-        (:func:`repro.restructure.matching.maximum_matching_fifo`);
-        the hardware cost is derived from its event counters plus a
+        The functional result comes from Algorithm 1's FIFO formulation
+        (vectorized by default, scalar under ``naive=True``); the
+        hardware cost is derived from its event counters plus a
         hash-conflict replay over the destination stream.
         """
         cfg = self.config
-        matching = maximum_matching_fifo(graph)
+        if self.naive:
+            matching = maximum_matching_fifo(graph)
+        else:
+            matching = maximum_matching_vec(graph)
         counters = matching.counters
 
         # Replay FIFO allocation through the set-associative hash table
         # to count conflicts: each distinct destination in the edge
-        # stream claims a FIFO slot while live. The whole destination
-        # stream is probed in one vectorized batch.
-        ways = cfg.hash_ways
-        num_sets = max(1, cfg.fifo_entries // ways)
-        table = HashTable(num_sets, ways)
-        table.probe_many(graph.dst)
-        conflicts = table.stats.conflicts
+        # stream claims a FIFO slot while live.
+        if self.naive:
+            table = HashTable(cfg.hash_sets, cfg.hash_ways)
+            table.probe_many(graph.dst)
+            conflicts = table.stats.conflicts
+        else:
+            conflicts = count_fifo_conflicts(
+                graph.dst, cfg.hash_sets, cfg.hash_ways
+            )
 
         scan_cycles = -(-counters.edges_scanned // cfg.edges_per_cycle)
         pop_cycles = counters.fifo_pops  # path flips serialize on pops

@@ -65,6 +65,9 @@ class GDRFrontend:
             sub-subgraphs"; each recursion re-runs both hardware units
             on the subgraphs, and all costs accumulate.
         min_edges: recursion cut-off.
+        naive: run both hardware units on the original per-edge
+            reference loops instead of the vectorized engines
+            (bit-identical output).
     """
 
     def __init__(
@@ -75,11 +78,12 @@ class GDRFrontend:
         max_depth: int = 0,
         min_edges: int = 64,
         community_budget: int = 256,
+        naive: bool = False,
     ) -> None:
         self.config = config or GDRConfig()
-        self.decoupler = Decoupler(self.config)
+        self.decoupler = Decoupler(self.config, naive=naive)
         self.recoupler = Recoupler(
-            self.config, backbone_strategy, community_budget
+            self.config, backbone_strategy, community_budget, naive=naive
         )
         self.max_depth = max_depth
         self.min_edges = min_edges
@@ -106,17 +110,23 @@ class GDRFrontend:
                 if sub.num_edges >= self.min_edges:
                     child, child_report = self._restructure(sub, depth + 1)
                     children.append(child)
-                    report.decoupler.cycles += child_report.decoupler.cycles
-                    report.recoupler.cycles += child_report.recoupler.cycles
-                    report.decoupler.dram_bytes_read += (
-                        child_report.decoupler.dram_bytes_read
-                    )
-                    report.recoupler.dram_bytes_read += (
-                        child_report.recoupler.dram_bytes_read
-                    )
-                    report.recoupler.dram_bytes_written += (
-                        child_report.recoupler.dram_bytes_written
-                    )
+                    # Fold the child's full counter set into the parent
+                    # report, not just cycles and DRAM traffic --
+                    # recursive runs previously dropped the event
+                    # counters, skewing every per-counter derived rate.
+                    parent_dec, child_dec = report.decoupler, child_report.decoupler
+                    parent_dec.cycles += child_dec.cycles
+                    parent_dec.dram_bytes_read += child_dec.dram_bytes_read
+                    parent_dec.fifo_pushes += child_dec.fifo_pushes
+                    parent_dec.fifo_pops += child_dec.fifo_pops
+                    parent_dec.hash_conflicts += child_dec.hash_conflicts
+                    parent_dec.augmenting_paths += child_dec.augmenting_paths
+                    parent_rec, child_rec = report.recoupler, child_report.recoupler
+                    parent_rec.cycles += child_rec.cycles
+                    parent_rec.dram_bytes_read += child_rec.dram_bytes_read
+                    parent_rec.dram_bytes_written += child_rec.dram_bytes_written
+                    parent_rec.candidates_processed += child_rec.candidates_processed
+                    parent_rec.edges_emitted += child_rec.edges_emitted
                 else:
                     children.append(None)
             result.children = children
@@ -142,6 +152,7 @@ class GDRHGNNSystem:
         *,
         max_depth: int = 0,
         community_budget: int | None = None,
+        naive: bool = False,
     ) -> None:
         self.accelerator = HiHGNNSimulator(accelerator_config, model_config)
         if community_budget is None:
@@ -157,6 +168,7 @@ class GDRHGNNSystem:
             frontend_config,
             max_depth=max_depth,
             community_budget=community_budget,
+            naive=naive,
         )
 
     def run(

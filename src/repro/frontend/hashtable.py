@@ -13,7 +13,88 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["HashTableStats", "HashTable"]
+__all__ = ["HashTableStats", "HashTable", "count_fifo_conflicts"]
+
+
+def count_fifo_conflicts(keys: np.ndarray, num_sets: int, ways: int) -> int:
+    """Conflicts a fresh table would record replaying ``keys``.
+
+    Bit-identical to ``HashTable(num_sets, ways).probe_many(keys)``
+    followed by ``stats.conflicts`` (differential-tested across the
+    scenario catalog), but without materializing slot assignments: all
+    sets replay their probe substreams *simultaneously*, one stream
+    position per step. Two reductions keep the step count small:
+
+    - consecutive repeats of one key within a set are guaranteed hits
+      (nothing was inserted in between), so runs collapse first;
+    - a set whose distinct-key count fits its associativity can never
+      evict, so only genuinely overflowing sets are simulated.
+
+    Each simulated set is a circular buffer of its last ``ways``
+    inserted keys -- exactly the insertion-ordered dict eviction of
+    :meth:`HashTable.insert` (hits do not refresh FIFO position).
+    """
+    if num_sets <= 0 or ways <= 0:
+        raise ValueError("num_sets and ways must be positive")
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return 0
+    sets = ((keys * 2654435761) & 0xFFFFFFFF) % num_sets
+    order = np.argsort(sets, kind="stable")
+    set_sorted = sets[order]
+    key_sorted = keys[order]
+    keep = np.ones(keys.size, dtype=bool)
+    keep[1:] = (key_sorted[1:] != key_sorted[:-1]) | (
+        set_sorted[1:] != set_sorted[:-1]
+    )
+    set_sorted = set_sorted[keep]
+    key_sorted = key_sorted[keep]
+
+    span = int(keys.max()) + 1
+    distinct = np.unique(set_sorted * span + key_sorted)
+    distinct_per_set = np.bincount(distinct // span, minlength=num_sets)
+    busy = distinct_per_set > ways
+    if not busy.any():
+        return 0
+    probe = busy[set_sorted]
+    set_sorted = set_sorted[probe]
+    key_sorted = key_sorted[probe]
+    row_of = np.cumsum(busy) - 1
+    rows = row_of[set_sorted]
+    num_rows = int(busy.sum())
+
+    # Column = position within the set's collapsed substream; step the
+    # simulation one column at a time across every busy set at once.
+    counts = np.bincount(rows, minlength=num_rows)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    col = np.arange(rows.size, dtype=np.int64) - starts[rows]
+    by_col = np.argsort(col, kind="stable")
+    col_sorted = col[by_col]
+    row_by_col = rows[by_col]
+    key_by_col = key_sorted[by_col]
+    depth = int(counts.max())
+    bounds = np.searchsorted(col_sorted, np.arange(depth + 1))
+
+    # Way-major layout: the hit test is `ways` 1-D compares, and an
+    # insert is one flat scatter at ``head * num_rows + row``.
+    bucket = np.full(ways * num_rows, -1, dtype=np.int64)
+    head = np.zeros(num_rows, dtype=np.int64)
+    occupancy = np.zeros(num_rows, dtype=np.int64)
+    conflicts = 0
+    for step in range(depth):
+        lo, hi = bounds[step], bounds[step + 1]
+        row = row_by_col[lo:hi]
+        key = key_by_col[lo:hi]
+        hit = bucket[row] == key
+        for way in range(1, ways):
+            hit |= bucket[way * num_rows + row] == key
+        row = row[~hit]
+        key = key[~hit]
+        conflicts += int(np.count_nonzero(occupancy[row] >= ways))
+        bucket[head[row] * num_rows + row] = key
+        head[row] = (head[row] + 1) % ways
+        occupancy[row] += 1
+    return conflicts
 
 
 @dataclass

@@ -12,15 +12,27 @@ __all__ = ["GDRHGNNPlatform"]
 
 @register_platform("hihgnn+gdr")
 class GDRHGNNPlatform(Platform):
-    """HiHGNN fed by the pipelined GDR-HGNN restructuring frontend."""
+    """HiHGNN fed by the pipelined GDR-HGNN restructuring frontend.
+
+    ``simulate(..., naive=True)`` runs the frontend's original
+    per-edge reference loops instead of the vectorized engines; the
+    reports are bit-identical either way (CI asserts the evaluate
+    goldens match with the vectorized default).
+    """
 
     def simulate(
-        self, model_name: str, artifacts: DatasetArtifacts, **kwargs
+        self,
+        model_name: str,
+        artifacts: DatasetArtifacts,
+        *,
+        naive: bool = False,
+        **kwargs,
     ) -> SimulationReport:
         system = GDRHGNNSystem(
             self.context.accelerator,
             self.context.frontend,
             self.context.model_config,
+            naive=naive,
         )
         report = system.run(
             artifacts.graph,

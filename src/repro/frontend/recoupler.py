@@ -51,10 +51,13 @@ class Recoupler:
         config: GDRConfig | None = None,
         backbone_strategy: str = "konig",
         community_budget: int = 256,
+        *,
+        naive: bool = False,
     ) -> None:
         self.config = config or GDRConfig()
         self.backbone_strategy = backbone_strategy
         self.community_budget = community_budget
+        self.naive = naive
 
     def run(
         self, graph: SemanticGraph, matching: MatchingResult
@@ -62,10 +65,14 @@ class Recoupler:
         """Recouple ``graph`` given its decoupling result."""
         cfg = self.config
         partition: BackbonePartition = select_backbone(
-            graph, matching, self.backbone_strategy
+            graph, matching, self.backbone_strategy, naive=self.naive
         )
         result = recouple(
-            graph, matching, partition, community_budget=self.community_budget
+            graph,
+            matching,
+            partition,
+            community_budget=self.community_budget,
+            naive=self.naive,
         )
 
         candidates = matching.size * 2  # matched sources and destinations

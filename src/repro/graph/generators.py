@@ -258,10 +258,50 @@ def community_bipartite(
         if len(codes) > num_edges:
             keep = rng.choice(len(codes), size=num_edges, replace=False)
             codes = np.sort(codes[keep])
-    else:  # pragma: no cover - only reachable with adversarial params
-        raise RuntimeError(
-            "edge sampling did not converge; lower num_edges or exponents"
-        )
+    else:
+        # Saturated requests (num_edges at or near the reachable pair
+        # capacity) stall the weighted sampler on its rarest pairs --
+        # a coupon-collector tail the redraw loop cannot beat. Complete
+        # deterministically: enumerate the within-block pair codes and
+        # draw the shortfall uniformly from the uncollected ones. This
+        # path only runs where the loop previously gave up, so every
+        # converging parameter set keeps its exact historical output.
+        # Enumerations are bounded before allocating anything. The
+        # final allowed round may have completed the set, in which case
+        # there is nothing to do.
+        missing = num_edges - len(codes)
+        if missing > 0:
+            budget = max(1 << 22, 8 * num_edges)
+            if reachable_within > budget:
+                raise RuntimeError(
+                    "edge sampling did not converge; lower num_edges "
+                    "or exponents"
+                )
+            pool = np.setdiff1d(
+                np.concatenate(
+                    [
+                        (
+                            src_members[b][:, None] * num_dst
+                            + dst_members[b][None, :]
+                        ).ravel()
+                        for b in range(num_blocks)
+                    ]
+                ),
+                codes,
+            )
+            if len(pool) < missing:
+                # Cross-block edges are required; enumerate the full
+                # complement when that is affordable.
+                if capacity > budget:
+                    raise RuntimeError(
+                        "edge sampling did not converge; lower "
+                        "num_edges or exponents"
+                    )
+                pool = np.setdiff1d(
+                    np.arange(capacity, dtype=np.int64), codes
+                )
+            take = rng.choice(len(pool), size=missing, replace=False)
+            codes = np.sort(np.concatenate([codes, pool[take]]))
 
     return (codes // num_dst).astype(np.int64), (codes % num_dst).astype(np.int64)
 

@@ -20,6 +20,7 @@ from repro.restructure.matching import (
     maximum_matching,
     maximum_matching_fifo,
 )
+from repro.restructure.matching_vec import maximum_matching_vec
 from repro.restructure.hopcroft_karp import hopcroft_karp
 from repro.restructure.backbone import (
     BackbonePartition,
@@ -40,6 +41,7 @@ __all__ = [
     "MatchingCounters",
     "maximum_matching",
     "maximum_matching_fifo",
+    "maximum_matching_vec",
     "hopcroft_karp",
     "BackbonePartition",
     "select_backbone",

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.graph.csr import gather_rows
 from repro.graph.semantic import SemanticGraph
 from repro.restructure.matching import MatchingResult
 
@@ -100,35 +101,61 @@ class BackbonePartition:
 
 
 def select_backbone_konig(
-    graph: SemanticGraph, matching: MatchingResult
+    graph: SemanticGraph, matching: MatchingResult, *, naive: bool = False
 ) -> BackbonePartition:
     """Minimum vertex cover from a maximum matching (König's theorem).
 
     Let ``Z`` be the vertices reachable from unmatched sources along
     alternating paths (non-matching edge src->dst, matching edge
     dst->src). The minimum cover is ``(V_src \\ Z) | (V_dst & Z)``.
+
+    ``naive=True`` runs the original per-edge BFS; the reachable set
+    (and hence the cover) is identical either way.
     """
     csr = graph.csr
-    indptr, indices = csr.indptr, csr.indices
+    indptr = csr.indptr
     match_src, match_dst = matching.match_src, matching.match_dst
 
     src_in_z = match_src < 0  # unmatched sources seed Z
     dst_in_z = np.zeros(graph.num_dst, dtype=bool)
 
-    queue: deque[int] = deque(np.flatnonzero(src_in_z).tolist())
-    while queue:
-        u = queue.popleft()
-        for pos in range(indptr[u], indptr[u + 1]):
-            v = int(indices[pos])
-            if dst_in_z[v]:
-                continue
-            if match_src[u] == v:
-                continue  # only non-matching edges go src -> dst
-            dst_in_z[v] = True
-            w = int(match_dst[v])
-            if w >= 0 and not src_in_z[w]:
-                src_in_z[w] = True
-                queue.append(w)
+    if naive:
+        indices = csr.indices
+        queue: deque[int] = deque(np.flatnonzero(src_in_z).tolist())
+        while queue:
+            u = queue.popleft()
+            for pos in range(indptr[u], indptr[u + 1]):
+                v = int(indices[pos])
+                if dst_in_z[v]:
+                    continue
+                if match_src[u] == v:
+                    continue  # only non-matching edges go src -> dst
+                dst_in_z[v] = True
+                w = int(match_dst[v])
+                if w >= 0 and not src_in_z[w]:
+                    src_in_z[w] = True
+                    queue.append(w)
+        return BackbonePartition(
+            src_in_mask=~src_in_z, dst_in_mask=dst_in_z, strategy="konig"
+        )
+
+    # Reachability is a set computation, so whole frontiers expand at
+    # once: non-matching edges cross src -> dst, matching edges return
+    # dst -> src (each destination has at most one matched source, so
+    # the next frontier needs no dedup).
+    frontier = np.flatnonzero(src_in_z)
+    while frontier.size:
+        neighbors = gather_rows(csr, frontier)
+        lens = indptr[frontier + 1] - indptr[frontier]
+        along_matching = neighbors == np.repeat(match_src[frontier], lens)
+        fresh = np.unique(neighbors[~along_matching & ~dst_in_z[neighbors]])
+        if not fresh.size:
+            break
+        dst_in_z[fresh] = True
+        back = match_dst[fresh]
+        back = back[back >= 0]
+        frontier = back[~src_in_z[back]]
+        src_in_z[frontier] = True
 
     partition = BackbonePartition(
         src_in_mask=~src_in_z, dst_in_mask=dst_in_z, strategy="konig"
@@ -137,7 +164,11 @@ def select_backbone_konig(
 
 
 def select_backbone_paper(
-    graph: SemanticGraph, matching: MatchingResult, *, repair: bool = True
+    graph: SemanticGraph,
+    matching: MatchingResult,
+    *,
+    repair: bool = True,
+    naive: bool = False,
 ) -> BackbonePartition:
     """Algorithm 2's backbone selection, optionally repaired to a cover.
 
@@ -149,26 +180,45 @@ def select_backbone_paper(
     Repair (``repair=True``): any edge left with both endpoints outside
     the backbone has both endpoints matched (a consequence of matching
     maximality), so its source endpoint is promoted into ``Src_in``.
+
+    ``naive=True`` runs the original per-vertex neighbor scans; the
+    partition is identical either way.
     """
     src_matched = matching.match_src >= 0
     dst_matched = matching.match_dst >= 0
 
     src_in = np.zeros(graph.num_src, dtype=bool)
     dst_in = np.zeros(graph.num_dst, dtype=bool)
-
-    csr, csc = graph.csr, graph.csc
-
-    # Lines 3-9: matched sources with unmatched destination neighbors.
-    for u in np.flatnonzero(src_matched):
-        neighbors = csr.neighbors(int(u))
-        if len(neighbors) and not dst_matched[neighbors].all():
-            src_in[u] = True
-
-    # Lines 10-16: matched destinations with unmatched source neighbors.
-    for v in np.flatnonzero(dst_matched):
-        neighbors = csc.neighbors(int(v))
-        if len(neighbors) and not src_matched[neighbors].all():
-            dst_in[v] = True
+    if naive:
+        csr, csc = graph.csr, graph.csc
+        # Lines 3-9: matched sources with unmatched destination
+        # neighbors.
+        for u in np.flatnonzero(src_matched):
+            neighbors = csr.neighbors(int(u))
+            if len(neighbors) and not dst_matched[neighbors].all():
+                src_in[u] = True
+        # Lines 10-16: matched destinations with unmatched source
+        # neighbors.
+        for v in np.flatnonzero(dst_matched):
+            neighbors = csc.neighbors(int(v))
+            if len(neighbors) and not src_matched[neighbors].all():
+                dst_in[v] = True
+    elif graph.num_edges:
+        # Lines 3-9 / 10-16, as one set computation per side: a
+        # matched vertex joins the backbone iff any incident edge
+        # reaches an unmatched vertex on the other side.
+        src_in = src_matched & (
+            np.bincount(
+                graph.src[~dst_matched[graph.dst]], minlength=graph.num_src
+            )
+            > 0
+        )
+        dst_in = dst_matched & (
+            np.bincount(
+                graph.dst[~src_matched[graph.src]], minlength=graph.num_dst
+            )
+            > 0
+        )
 
     if repair and graph.num_edges:
         uncovered = ~(src_in[graph.src] | dst_in[graph.dst])
@@ -187,9 +237,17 @@ _STRATEGIES = {
 
 
 def select_backbone(
-    graph: SemanticGraph, matching: MatchingResult, strategy: str = "konig"
+    graph: SemanticGraph,
+    matching: MatchingResult,
+    strategy: str = "konig",
+    *,
+    naive: bool = False,
 ) -> BackbonePartition:
-    """Select the graph backbone with the named strategy."""
+    """Select the graph backbone with the named strategy.
+
+    Every strategy accepts ``naive=True`` to run its scalar reference
+    path; the returned partition is identical either way.
+    """
     try:
         chooser = _STRATEGIES[strategy]
     except KeyError:
@@ -197,4 +255,4 @@ def select_backbone(
         raise ValueError(
             f"unknown backbone strategy {strategy!r}; choose one of: {known}"
         ) from None
-    return chooser(graph, matching)
+    return chooser(graph, matching, naive=naive)

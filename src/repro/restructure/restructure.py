@@ -11,6 +11,7 @@ from repro.restructure.matching import (
     maximum_matching,
     maximum_matching_fifo,
 )
+from repro.restructure.matching_vec import maximum_matching_vec
 from repro.restructure.recouple import RestructureResult, recouple
 
 __all__ = ["decouple", "GraphRestructurer"]
@@ -18,6 +19,7 @@ __all__ = ["decouple", "GraphRestructurer"]
 _MATCHERS = {
     "kuhn": maximum_matching,
     "fifo": maximum_matching_fifo,
+    "fifo_vec": maximum_matching_vec,
 }
 
 
@@ -26,9 +28,10 @@ def decouple(graph: SemanticGraph, method: str = "kuhn") -> MatchingResult:
 
     Args:
         graph: the bipartite semantic graph.
-        method: ``"kuhn"`` (fast iterative augmentation) or ``"fifo"``
+        method: ``"kuhn"`` (fast iterative augmentation), ``"fifo"``
             (the paper's Algorithm 1 dataflow with hardware-event
-            counters).
+            counters) or ``"fifo_vec"`` (the batched engine with
+            bit-identical matching and counters).
     """
     try:
         matcher = _MATCHERS[method]

@@ -38,6 +38,7 @@ imported lazily on first lookup, mirroring the platform registry.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -91,31 +92,57 @@ class ScenarioParam:
     default: int | float | str
     doc: str = ""
 
+    def __post_init__(self) -> None:
+        if isinstance(self.default, float) and not math.isfinite(self.default):
+            raise ValueError(
+                f"parameter {self.name!r} declares non-finite default "
+                f"{self.default!r}"
+            )
+
     def coerce(self, raw: object) -> int | float | str:
-        """Convert one override to this parameter's type."""
+        """Convert one override to this parameter's type.
+
+        Non-finite numerics (``nan``, ``inf``, ``-inf``) are rejected:
+        they would poison workload digests (``nan != nan`` makes every
+        store lookup a miss) and generator arithmetic.
+        """
         kind = type(self.default)
+        if kind is str:
+            return str(raw)
         try:
             if kind is int:
+                if isinstance(raw, float):
+                    # Reject silent truncation of float objects: 1.5
+                    # is not a valid int (2.0 is). int() raises on a
+                    # nan (ValueError) or infinity (OverflowError).
+                    as_int = int(raw)
+                    if as_int != raw:
+                        raise ValueError
+                    return as_int
                 try:
                     # Integer literals convert exactly at any
                     # magnitude (no float round-trip).
                     return int(raw)
-                except (TypeError, ValueError):
-                    # Reject silent truncation: 1.5 is not a valid int
-                    # (but 2.0 and "2e3" are).
+                except (TypeError, ValueError, OverflowError):
+                    # Same truncation rule for text: "2e3" is exact,
+                    # "1.5" and non-finite spellings are not.
                     as_float = float(raw)
                     as_int = int(as_float)
                     if as_int != as_float:
                         raise ValueError
                     return as_int
-            if kind is float:
-                return float(raw)
-            return str(raw)
-        except (TypeError, ValueError):
+            value = float(raw)
+        except (TypeError, ValueError, OverflowError):
             raise ValueError(
                 f"parameter {self.name!r} expects {kind.__name__}, "
                 f"got {raw!r}"
             ) from None
+        if not math.isfinite(value):
+            raise ValueError(
+                f"parameter {self.name!r} expects a finite float, "
+                f"got {raw!r}"
+            )
+        return value
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,7 @@
 """Tests for the Decoupler, Recoupler and the integrated system."""
 
+import pytest
+
 from repro.accelerator.hihgnn import HiHGNNSimulator
 from repro.frontend.config import GDRConfig
 from repro.frontend.decoupler import Decoupler
@@ -120,3 +122,126 @@ def SystemRunArtifactsHolder(system, graph):
         result, _ = system.frontend.restructure(sgs[idx])
         out[str(sgs[idx].relation)] = result
     return out
+
+
+class TestConfigValidation:
+    def test_default_geometry_is_consistent(self):
+        cfg = GDRConfig()
+        assert cfg.hash_sets * cfg.hash_ways <= cfg.fifo_entries
+        assert cfg.hash_sets == cfg.fifo_entries // cfg.hash_ways
+
+    def test_rejects_fifo_pool_smaller_than_one_set(self):
+        # 8 bytes / 4-byte entries = 2 FIFO slots < 4 ways.
+        with pytest.raises(ValueError, match="hash_ways"):
+            GDRConfig(fifo_bytes=8, hash_ways=4)
+
+    def test_rejects_nonpositive_ways(self):
+        with pytest.raises(ValueError, match="hash_ways"):
+            GDRConfig(hash_ways=0)
+        with pytest.raises(ValueError, match="hash_ways"):
+            GDRConfig(hash_ways=-2)
+
+    def test_indivisible_pool_rounds_down(self):
+        # 24 entries / 5 ways -> 4 full sets; modeled capacity (20)
+        # never exceeds the physical pool.
+        cfg = GDRConfig(fifo_bytes=96, hash_ways=5)
+        assert cfg.fifo_entries == 24
+        assert cfg.hash_sets == 4
+        assert cfg.hash_sets * cfg.hash_ways <= cfg.fifo_entries
+
+    def test_boundary_single_set(self, make_semantic):
+        cfg = GDRConfig(fifo_bytes=16, hash_ways=4)  # exactly one set
+        assert cfg.hash_sets == 1
+        sg = make_semantic(10, 10, num_edges=40, seed=11)
+        _, report = Decoupler(cfg).run(sg)
+        assert report.cycles > 0
+
+
+class TestReportRename:
+    def test_pushes_per_cycle_achieved(self, make_semantic):
+        sg = make_semantic(12, 12, num_edges=50, seed=12)
+        _, report = Decoupler().run(sg)
+        assert report.pushes_per_cycle_achieved == (
+            report.fifo_pushes / report.cycles
+        )
+
+    def test_deprecated_alias_warns_and_matches(self, make_semantic):
+        sg = make_semantic(12, 12, num_edges=50, seed=12)
+        _, report = Decoupler().run(sg)
+        with pytest.warns(DeprecationWarning, match="pushes_per_cycle"):
+            legacy = report.edges_per_cycle_achieved
+        assert legacy == report.pushes_per_cycle_achieved
+
+    def test_zero_cycles_report(self):
+        from repro.frontend.decoupler import DecouplerReport
+
+        report = DecouplerReport(
+            cycles=0,
+            dram_bytes_read=0,
+            fifo_pushes=0,
+            fifo_pops=0,
+            hash_conflicts=0,
+            augmenting_paths=0,
+        )
+        assert report.pushes_per_cycle_achieved == 0.0
+
+
+class TestRecursiveCounterFolding:
+    def _frontends(self):
+        shallow = GDRFrontend(max_depth=0, min_edges=8)
+        deep = GDRFrontend(max_depth=2, min_edges=8)
+        return shallow, deep
+
+    def test_children_fold_full_decoupler_counter_set(self, make_semantic):
+        sg = make_semantic(40, 40, num_edges=300, seed=13)
+        shallow, deep = self._frontends()
+        _, shallow_report = shallow.restructure(sg)
+        result, deep_report = deep.restructure(sg)
+        assert any(child is not None for child in result.children)
+        # Recursion re-runs the Decoupler on subgraphs, so every event
+        # counter must grow alongside cycles -- previously only cycles
+        # and DRAM bytes accumulated and the per-cycle rates went wrong.
+        assert deep_report.decoupler.cycles > shallow_report.decoupler.cycles
+        assert deep_report.decoupler.fifo_pushes > (
+            shallow_report.decoupler.fifo_pushes
+        )
+        assert deep_report.decoupler.fifo_pops > (
+            shallow_report.decoupler.fifo_pops
+        )
+        assert deep_report.recoupler.candidates_processed > (
+            shallow_report.recoupler.candidates_processed
+        )
+        assert deep_report.recoupler.edges_emitted > (
+            shallow_report.recoupler.edges_emitted
+        )
+
+    def test_folded_counters_equal_sum_over_tree(self, make_semantic):
+        sg = make_semantic(30, 30, num_edges=200, seed=14)
+        _, deep = self._frontends()
+        result, report = deep.restructure(sg)
+
+        def tree_graphs(node):
+            yield node.original
+            for child in node.children:
+                if child is not None:
+                    yield from tree_graphs(child)
+
+        pushes = pops = conflicts = paths = 0
+        for graph in tree_graphs(result):
+            _, one = Decoupler().run(graph)
+            pushes += one.fifo_pushes
+            pops += one.fifo_pops
+            conflicts += one.hash_conflicts
+            paths += one.augmenting_paths
+        assert report.decoupler.fifo_pushes == pushes
+        assert report.decoupler.fifo_pops == pops
+        assert report.decoupler.hash_conflicts == conflicts
+        assert report.decoupler.augmenting_paths == paths
+
+    def test_pushes_rate_consistent_at_depth(self, make_semantic):
+        sg = make_semantic(40, 40, num_edges=300, seed=15)
+        _, deep = self._frontends()
+        _, report = deep.restructure(sg)
+        assert report.decoupler.pushes_per_cycle_achieved == (
+            report.decoupler.fifo_pushes / report.decoupler.cycles
+        )

@@ -213,3 +213,66 @@ class TestRegisterDecorator:
     def test_build_rejects_nonpositive_scale(self):
         with pytest.raises(ValueError, match="scale"):
             build_scenario("skew", scale=0.0)
+
+
+class TestNonFiniteParameters:
+    """nan/inf parameters must be rejected, not silently accepted.
+
+    A non-finite float used to parse and resolve, poisoning the
+    artifact-store workload digest (``nan != nan`` turns every lookup
+    into a miss) and the generators' arithmetic.
+    """
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "Infinity", "NAN"])
+    def test_float_parameter_rejects_text_forms(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            resolve_scenario(f"skew:exponent={bad}")
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_float_parameter_rejects_float_objects(self, bad):
+        family = get_scenario("skew")
+        with pytest.raises(ValueError, match="finite"):
+            family.resolve({"exponent": bad})
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf"])
+    def test_int_parameter_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="num_src"):
+            resolve_scenario(f"skew:num_src={bad}")
+
+    def test_canonical_scenario_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            canonical_scenario("community:mixing=nan")
+
+    def test_build_scenario_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            build_scenario("skew:exponent=inf")
+
+    def test_non_finite_default_rejected_at_declaration(self):
+        with pytest.raises(ValueError, match="non-finite default"):
+            ScenarioParam("broken", float("nan"))
+
+    def test_finite_values_still_coerce(self):
+        family = get_scenario("skew")
+        resolved = family.resolve({"exponent": "1.5", "num_src": "2e3"})
+        assert resolved["exponent"] == 1.5
+        assert resolved["num_src"] == 2000
+
+    def test_experiment_spec_rejects_non_finite_ref(self):
+        from repro.api import ExperimentSpec
+
+        with pytest.raises(ValueError, match="finite"):
+            ExperimentSpec(
+                platforms=("t4",),
+                models=("rgcn",),
+                datasets=("skew:exponent=nan",),
+            )
+
+    @pytest.mark.parametrize("bad", [1.5, -0.25, 2.000001])
+    def test_int_parameter_rejects_truncating_float_objects(self, bad):
+        family = get_scenario("skew")
+        with pytest.raises(ValueError, match="num_src"):
+            family.resolve({"num_src": bad})
+
+    def test_int_parameter_accepts_exact_float_objects(self):
+        family = get_scenario("skew")
+        assert family.resolve({"num_src": 2.0})["num_src"] == 2

@@ -375,3 +375,24 @@ class TestEvaluateScenario:
         assert "no parameter 'bogus'" in capsys.readouterr().err
         assert main(["restructure", "--dataset", "acme"]) == 2
         assert "unknown dataset 'acme'" in capsys.readouterr().err
+
+
+class TestNonFiniteScenarioParams:
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf"])
+    def test_evaluate_rejects_non_finite_scenario(self, capsys, bad):
+        assert main([
+            "evaluate", "--scenario", f"skew:exponent={bad}", "--no-cache",
+        ]) == 2
+        assert "finite" in capsys.readouterr().err
+
+    def test_scenarios_describe_rejects_non_finite(self, capsys):
+        assert main([
+            "scenarios", "describe", "skew:exponent=nan",
+        ]) == 2
+        assert "finite" in capsys.readouterr().err
+
+    def test_thrash_rejects_non_finite_scenario(self, capsys):
+        assert main([
+            "thrash", "--dataset", "community:mixing=inf", "--scale", "0.05",
+        ]) == 2
+        assert "finite" in capsys.readouterr().err
