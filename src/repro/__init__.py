@@ -53,6 +53,10 @@ _LAZY_EXPORTS = {
     "Session": "repro.api.session",
     "CellResult": "repro.api.results",
     "GridResult": "repro.api.results",
+    "CellFailure": "repro.platforms.failures",
+    "RetryPolicy": "repro.platforms.failures",
+    "FaultPlan": "repro.faults",
+    "FaultRule": "repro.faults",
     "EvaluationSuite": "repro.analysis.experiments",
     "EvaluationConfig": "repro.analysis.experiments",
     "register_scenario": "repro.scenarios.registry",

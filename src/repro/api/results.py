@@ -30,10 +30,13 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import TYPE_CHECKING, Any, ClassVar, Mapping
 
+from repro.platforms.failures import CellFailure
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.spec import ExperimentSpec
 
 __all__ = [
+    "CellFailure",
     "RESULT_SCHEMA_VERSION",
     "SchemaMismatchError",
     "geomean",
@@ -109,6 +112,15 @@ class CellResult:
     accelerator-only fields (``na_hit_ratio``, ``total_cycles``,
     ``frontend_cycles``) are ``None`` on the other platform kind; the
     shared core (time, DRAM traffic, bandwidth) is always present.
+
+    ``status`` is ``"ok"`` for a completed simulation and ``"failed"``
+    for a cell whose terminal failure was collected
+    (``on_error="collect"``); failed cells carry the typed
+    :class:`~repro.platforms.failures.CellFailure` in ``failure`` and
+    zeros in the numeric core. Failed cells are never persisted to the
+    artifact store, and serialization omits the two fields entirely on
+    the ``"ok"`` path (payloads of healthy runs are bit-identical to
+    pre-failure-aware versions).
     """
 
     platform: str
@@ -123,11 +135,33 @@ class CellResult:
     total_cycles: int | None = None
     frontend_cycles: int | None = None
     kernel_launches: int | None = None
+    status: str = "ok"
+    failure: CellFailure | None = None
 
     @property
     def key(self) -> GridKey:
         """The grid coordinate ``(platform, model, dataset)``."""
         return (self.platform, self.model, self.dataset)
+
+    @property
+    def ok(self) -> bool:
+        """Whether this cell completed (vs. a collected failure)."""
+        return self.status == "ok"
+
+    @classmethod
+    def from_failure(cls, failure: CellFailure) -> "CellResult":
+        """A ``status="failed"`` cell wrapping a typed failure."""
+        return cls(
+            platform=failure.platform,
+            model=failure.model,
+            dataset=failure.dataset,
+            time_ms=0.0,
+            dram_accesses=0,
+            dram_bytes=0,
+            bandwidth_utilization=0.0,
+            status="failed",
+            failure=failure,
+        )
 
     def speedup_over(self, baseline: "CellResult") -> float:
         """How much faster this cell ran than ``baseline`` (wall time)."""
@@ -164,7 +198,7 @@ class CellResult:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "schema_version": RESULT_SCHEMA_VERSION,
             "platform": self.platform,
             "model": self.model,
@@ -179,10 +213,20 @@ class CellResult:
             "frontend_cycles": self.frontend_cycles,
             "kernel_launches": self.kernel_launches,
         }
+        # Healthy payloads stay bit-identical to pre-failure-aware
+        # versions (store entries, JSON goldens); the failure block
+        # appears only when there is one.
+        if self.status != "ok":
+            payload["status"] = self.status
+            payload["failure"] = (
+                None if self.failure is None else self.failure.to_dict()
+            )
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "CellResult":
         payload = _require_schema(payload, "CellResult")
+        failure = payload.get("failure")
         return cls(
             platform=str(payload["platform"]),
             model=str(payload["model"]),
@@ -196,6 +240,8 @@ class CellResult:
             total_cycles=_opt_int(payload.get("total_cycles")),
             frontend_cycles=_opt_int(payload.get("frontend_cycles")),
             kernel_launches=_opt_int(payload.get("kernel_launches")),
+            status=str(payload.get("status", "ok")),
+            failure=None if failure is None else CellFailure.from_dict(failure),
         )
 
 
@@ -235,38 +281,68 @@ class MetricReport:
         datasets: tuple[str, ...],
         platforms: tuple[str, ...],
         baseline: str | None = None,
+        skip_missing: bool = False,
     ) -> "MetricReport":
-        """Build the table from a cell map (must contain the baseline)."""
+        """Build the table from a cell map (must contain the baseline).
+
+        With ``skip_missing`` the table degrades gracefully over the
+        surviving cells of a partially failed grid: a (model, dataset)
+        row with a missing/failed baseline is dropped entirely, a row
+        missing some platform keeps the surviving columns, and the
+        GEOMEAN bar of each platform aggregates whatever rows it has
+        (platforms with no surviving cells get no bar). Without it
+        (the default) any missing cell raises, bit-identical to the
+        strict historical behavior.
+        """
+
+        def lookup(key: GridKey) -> CellResult | None:
+            cell = cells.get(key)
+            if cell is not None and not cell.ok:
+                return None
+            return cell
+
         values: dict[str, dict[str, dict[str, float]]] = {}
         for model in models:
             values[model] = {}
             for dataset in datasets:
                 base = None
                 if baseline is not None:
-                    try:
-                        base = cells[(baseline, model, dataset)]
-                    except KeyError:
+                    base = lookup((baseline, model, dataset))
+                    if base is None:
+                        if skip_missing:
+                            continue
                         raise ValueError(
                             f"baseline cell ({baseline!r}, {model!r}, "
                             f"{dataset!r}) missing from the result set"
-                        ) from None
+                        )
                 row = {}
                 for p in platforms:
-                    try:
-                        cell = cells[(p, model, dataset)]
-                    except KeyError:
+                    cell = lookup((p, model, dataset))
+                    if cell is None:
+                        if skip_missing:
+                            continue
                         raise ValueError(
                             f"cell ({p!r}, {model!r}, {dataset!r}) "
                             "missing from the result set"
-                        ) from None
+                        )
                     row[p] = float(cls._metric(cell, base))
-                values[model][dataset] = row
-        geo = {
-            p: geomean(
-                [values[m][d][p] for m in models for d in datasets]
+                if row:
+                    values[model][dataset] = row
+        geo = {}
+        for p in platforms:
+            samples = [
+                row[p]
+                for per_model in values.values()
+                for row in per_model.values()
+                if p in row
+            ]
+            if samples:
+                geo[p] = geomean(samples)
+        if not geo:
+            raise ValueError(
+                "no surviving cells to report on: every grid cell "
+                "failed or is missing"
             )
-            for p in platforms
-        }
         return cls(
             baseline=baseline,
             platforms=tuple(platforms),
@@ -419,6 +495,20 @@ class GridResult:
         """All cells of one platform, in grid order."""
         return tuple(c for c in self.cells if c.platform == platform)
 
+    @property
+    def failures(self) -> tuple[CellResult, ...]:
+        """The failed cells (``status="failed"``), in grid order."""
+        return tuple(c for c in self.cells if not c.ok)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell of the grid completed."""
+        return all(c.ok for c in self.cells)
+
+    def surviving(self) -> dict[GridKey, CellResult]:
+        """The completed cells, keyed by grid coordinate."""
+        return {c.key: c for c in self.cells if c.ok}
+
     def subset(
         self,
         *,
@@ -456,12 +546,16 @@ class GridResult:
                 f"baseline platform {baseline!r} is not part of this grid; "
                 "include it in the spec's platforms"
             )
+        # A fully healthy grid takes the strict path (bit-identical to
+        # the historical tables); a partially failed one degrades
+        # gracefully over the surviving cells.
         return cls.from_cells(
             self._by_key,
             models=self.spec.models,
             datasets=self.spec.datasets,
             platforms=self.spec.platforms,
             baseline=baseline,
+            skip_missing=not self.ok,
         )
 
     def speedup(self, baseline: str = "t4") -> SpeedupReport:

@@ -32,6 +32,7 @@ from repro.api.results import RESULT_SCHEMA_VERSION, CellResult, GridResult
 from repro.api.spec import ExperimentSpec, GridKey
 from repro.graph.hetero import HeteroGraph
 from repro.graph.semantic import SemanticGraph
+from repro.platforms.failures import CellFailure, RetryPolicy
 from repro.platforms.runner import GridRunner
 from repro.platforms.store import ArtifactStore, config_digest
 from repro.scenarios import workload_digest
@@ -158,25 +159,48 @@ class Session:
             return workspace.cells.setdefault(key, result)
 
     def _compute(
-        self, workspace: _Workspace, spec: ExperimentSpec, key: GridKey
+        self,
+        workspace: _Workspace,
+        spec: ExperimentSpec,
+        key: GridKey,
+        *,
+        retry: RetryPolicy | None = None,
+        on_error: str = "raise",
     ) -> CellResult:
-        """Simulate one cell, persist and memoize its typed result."""
-        report = workspace.runner.run_cell(*key, probe_store=False)
+        """Simulate one cell, persist and memoize its typed result.
+
+        With ``on_error="collect"`` a terminally failing cell comes
+        back as ``CellResult(status="failed")`` carrying the typed
+        :class:`CellFailure`; failures are neither memoized nor
+        persisted, so a later run retries the cell fresh.
+        """
+        outcome = workspace.runner.run_cell(
+            *key, probe_store=False, retry=retry, on_error=on_error
+        )
+        if isinstance(outcome, CellFailure):
+            return CellResult.from_failure(outcome)
         # Re-key on the grid coordinate: reports label themselves with
         # self-describing names (e.g. dataset "acm@0.05", model alias
         # normalization) that must not leak into cell identity.
         result = dataclasses.replace(
-            CellResult.from_report(report),
+            CellResult.from_report(outcome),
             platform=key[0],
             model=key[1],
             dataset=key[2],
         )
         if self.store is not None:
-            self.store.save(
-                self._cell_store_key(workspace, spec, key),
-                result.to_dict(),
-                schema=_CELL_SCHEMA,
-            )
+            # Cache writes are best-effort: a transiently failing save
+            # (disk full, injected I/O fault) costs the cache entry,
+            # never the computed cell.
+            try:
+                self.store.save(
+                    self._cell_store_key(workspace, spec, key),
+                    result.to_dict(),
+                    schema=_CELL_SCHEMA,
+                )
+            except Exception as exc:
+                if not RetryPolicy.is_transient(exc):
+                    raise
         with workspace.lock:
             return workspace.cells.setdefault(key, result)
 
@@ -212,6 +236,8 @@ class Session:
         *,
         jobs: int | None = None,
         progress: ProgressCallback | None = None,
+        on_error: str = "raise",
+        retry: RetryPolicy | None = None,
     ) -> Iterator[CellResult]:
         """Yield every grid cell exactly once, as each one completes.
 
@@ -220,7 +246,18 @@ class Session:
         fan out over a thread pool and stream back in completion
         order. The union of yielded cells always equals
         ``spec.cells()``; only the order varies with ``jobs``.
+
+        With ``on_error="collect"`` cell failures are isolated: a
+        failing cell yields ``CellResult(status="failed")`` (typed
+        failure attached) and every other cell still runs — the
+        exactly-once guarantee covers failures too. ``retry`` governs
+        transient-error retries per cell (see :class:`RetryPolicy`).
         """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(
+                "on_error must be one of ('raise', 'collect'), "
+                f"got {on_error!r}"
+            )
         spec = self.spec if spec is None else spec
         workspace = self._workspace(spec)
         # Resolve every platform up front so an unknown name fails
@@ -252,13 +289,24 @@ class Session:
         # them before the fan-out so parallel runs stay bit-identical
         # to serial ones (distinct datasets warm concurrently).
         workspace.runner.warm_artifacts(
-            [dataset for _, _, dataset in pending], jobs=jobs
+            [dataset for _, _, dataset in pending],
+            jobs=jobs,
+            # In collect mode a failed dataset build degrades to typed
+            # per-cell failures instead of aborting the stream.
+            errors=on_error,
         )
         if jobs > 1 and len(pending) > 1:
             pool = ThreadPoolExecutor(max_workers=jobs)
             try:
                 futures = [
-                    pool.submit(self._compute, workspace, spec, key)
+                    pool.submit(
+                        self._compute,
+                        workspace,
+                        spec,
+                        key,
+                        retry=retry,
+                        on_error=on_error,
+                    )
                     for key in pending
                 ]
                 for future in as_completed(futures):
@@ -270,7 +318,11 @@ class Session:
                 pool.shutdown(wait=True, cancel_futures=True)
         else:
             for key in pending:
-                yield emit(self._compute(workspace, spec, key))
+                yield emit(
+                    self._compute(
+                        workspace, spec, key, retry=retry, on_error=on_error
+                    )
+                )
 
     def run(
         self,
@@ -278,6 +330,8 @@ class Session:
         *,
         jobs: int | None = None,
         progress: ProgressCallback | None = None,
+        on_error: str = "raise",
+        retry: RetryPolicy | None = None,
     ) -> GridResult:
         """Execute the whole grid and return it in canonical order.
 
@@ -285,11 +339,30 @@ class Session:
         order: cells are sorted back into ``spec.cells()`` order, and
         ``GridResult.from_dict(result.to_dict())`` round-trips
         bit-identically.
+
+        With ``on_error="collect"`` the returned grid may contain
+        ``status="failed"`` cells; its derived reports then degrade
+        gracefully over the surviving cells
+        (:meth:`GridResult.failures` lists the casualties).
         """
         spec = self.spec if spec is None else spec
         collected: dict[GridKey, CellResult] = {}
-        for result in self.run_iter(spec, jobs=jobs, progress=progress):
+        for result in self.run_iter(
+            spec, jobs=jobs, progress=progress, on_error=on_error, retry=retry
+        ):
             collected[result.key] = result
         return GridResult(
             spec=spec, cells=tuple(collected[key] for key in spec.cells())
         )
+
+    def store_stats(self) -> dict[str, int] | None:
+        """Live counters of the session's store (``None`` when storeless).
+
+        Includes the crash-safety counters (``quarantined``,
+        ``evicted``, ``read_errors``) next to hits/misses/puts — the
+        numbers ``evaluate --store-stats`` and the service layer
+        surface.
+        """
+        if self.store is None:
+            return None
+        return self.store.stats.as_dict()

@@ -3,6 +3,11 @@
 Commands:
 
 - ``evaluate``  -- run the §5 evaluation grid and print Figures 7/8/9.
+  ``--keep-going`` isolates per-cell failures (exit 1 if any cell
+  ultimately fails), ``--max-retries`` retries transient errors with
+  deterministic backoff, ``--store-stats`` appends live store counters.
+- ``store``     -- inspect/maintain the artifact store
+  (``stats`` / ``verify`` / ``gc``).
 - ``platforms`` -- list the registered execution platforms.
 - ``scenarios`` -- list/describe the scenario catalog (parameterized
   workload families usable wherever a dataset name is accepted).
@@ -78,7 +83,42 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--progress", action="store_true",
                           help="stream per-cell progress to stderr as "
                                "results complete")
+    evaluate.add_argument("--keep-going", action="store_true",
+                          help="isolate per-cell failures: run every cell "
+                               "to a terminal outcome, report the "
+                               "casualties and exit 1 instead of aborting "
+                               "on the first error")
+    evaluate.add_argument("--max-retries", type=int, default=0,
+                          metavar="N",
+                          help="retry transiently failing cells up to N "
+                               "extra times (deterministic backoff; "
+                               "validation errors never retry)")
+    evaluate.add_argument("--store-stats", action="store_true",
+                          help="append live artifact-store counters "
+                               "(hits/misses/puts/quarantined/evicted) "
+                               "to the output")
     _add_format(evaluate)
+
+    store = sub.add_parser(
+        "store", help="inspect and maintain the on-disk artifact store"
+    )
+    store.add_argument("action", choices=("stats", "verify", "gc"),
+                       help="stats: entry/byte counts and health "
+                            "counters; verify: integrity-check every "
+                            "entry (exit 1 if any is corrupt); gc: sweep "
+                            "stale temp files (and, optionally, the "
+                            "quarantine)")
+    store.add_argument("--cache-dir", default=None,
+                       help="artifact store directory "
+                            "(default: $REPRO_ARTIFACT_DIR or "
+                            "~/.cache/repro/artifacts)")
+    store.add_argument("--tmp-max-age", type=float, default=None,
+                       metavar="SECONDS",
+                       help="gc: remove .tmp files older than this "
+                            "(default: 1 hour; 0 sweeps all)")
+    store.add_argument("--purge-quarantine", action="store_true",
+                       help="gc: also delete quarantined entries")
+    _add_format(store)
 
     scenarios = sub.add_parser(
         "scenarios", help="list/describe the scenario catalog"
@@ -146,8 +186,11 @@ def _cmd_evaluate(args) -> int:
         SpeedupReport,
     )
     from repro.analysis.report import ascii_table
-    from repro.platforms import ArtifactStore
+    from repro.platforms import ArtifactStore, RetryPolicy
 
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return 2
     requested = (
         tuple(args.platforms.split(","))
         if args.platforms
@@ -193,40 +236,69 @@ def _cmd_evaluate(args) -> int:
         run_spec = spec.replace(
             platforms=tuple(dict.fromkeys(spec.platforms + ("t4",)))
         )
-    grid_full = session.run(run_spec, progress=progress)
+    retry = (
+        RetryPolicy(max_attempts=args.max_retries + 1)
+        if args.max_retries
+        else None
+    )
+    on_error = "collect" if args.keep_going else "raise"
+    grid_full = session.run(
+        run_spec, progress=progress, on_error=on_error, retry=retry
+    )
+    for failed in grid_full.failures:
+        failure = failed.failure
+        print(
+            f"FAILED {failed.platform} x {failed.model} x "
+            f"{failed.dataset}: {failure.error_type}: {failure.message} "
+            f"(after {failure.attempts} attempt(s))",
+            file=sys.stderr,
+        )
+    exit_code = 0 if grid_full.ok else 1
     grid = (
         grid_full
         if run_spec is spec
         else grid_full.subset(platforms=spec.platforms)
     )
     cells = {cell.key: cell for cell in grid_full.cells}
-    reports = {
-        cls.kind: cls.from_cells(
-            cells,
-            models=spec.models,
-            datasets=spec.datasets,
-            platforms=spec.platforms,
-            baseline=baseline,
-        )
-        for cls, baseline in (
-            (SpeedupReport, "t4"),
-            (DramTrafficReport, "t4"),
-            (BandwidthReport, None),
-        )
-    }
+    try:
+        reports = {
+            cls.kind: cls.from_cells(
+                cells,
+                models=spec.models,
+                datasets=spec.datasets,
+                platforms=spec.platforms,
+                baseline=baseline,
+                # A fully healthy grid takes the strict path; with
+                # --keep-going casualties the tables degrade over the
+                # surviving cells instead.
+                skip_missing=not grid_full.ok,
+            )
+            for cls, baseline in (
+                (SpeedupReport, "t4"),
+                (DramTrafficReport, "t4"),
+                (BandwidthReport, None),
+            )
+        }
+    except ValueError as exc:
+        # Every cell failed: there is nothing left to tabulate.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    store_stats = session.store_stats() if args.store_stats else None
 
     if args.format == "json":
-        # No store statistics here: the document is a pure function of
-        # the spec, so warm reruns are byte-identical to cold ones.
-        return _emit_json(
-            {
-                "grid": grid.to_dict(),
-                "reports": {
-                    kind: report.to_dict()
-                    for kind, report in reports.items()
-                },
-            }
-        )
+        # Without --store-stats the document is a pure function of the
+        # spec, so warm reruns are byte-identical to cold ones.
+        payload = {
+            "grid": grid.to_dict(),
+            "reports": {
+                kind: report.to_dict()
+                for kind, report in reports.items()
+            },
+        }
+        if store_stats is not None:
+            payload["store_stats"] = store_stats
+        _emit_json(payload)
+        return exit_code
 
     for title, report, fmt in (
         ("Fig. 7: speedup over T4", reports["speedup"], "{:.2f}"),
@@ -238,14 +310,61 @@ def _cmd_evaluate(args) -> int:
         for model in list(spec.models) + ["GEOMEAN"]:
             datasets = spec.datasets if model != "GEOMEAN" else ("all",)
             for dataset in datasets:
-                cell = report[model][dataset]
-                rows.append([model, dataset]
-                            + [fmt.format(cell[p]) for p in spec.platforms])
+                # Degraded tables render "-" for failed/missing values.
+                cell = (
+                    report["GEOMEAN"]["all"]
+                    if model == "GEOMEAN"
+                    else report[model].get(dataset, {})
+                )
+                rows.append(
+                    [model, dataset]
+                    + [
+                        fmt.format(cell[p]) if p in cell else "-"
+                        for p in spec.platforms
+                    ]
+                )
         print(ascii_table(["model", "dataset"] + list(spec.platforms), rows,
                           title="\n" + title))
     if store is not None:
         print(f"\nartifact store: {store.root} "
               f"({store.stats.hits} hits, {store.stats.misses} misses)")
+    if store_stats is not None:
+        counters = ", ".join(f"{k}={v}" for k, v in store_stats.items())
+        print(f"store counters: {counters}")
+    return exit_code
+
+
+def _cmd_store(args) -> int:
+    from repro.platforms import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "stats":
+        payload = store.disk_stats()
+        if args.format == "json":
+            return _emit_json(payload)
+        print(f"artifact store: {payload['root']}")
+        print(f"entries     : {payload['entries']}")
+        print(f"bytes       : {payload['bytes']}")
+        print(f"tmp files   : {payload['tmp_files']}")
+        print(f"quarantined : {payload['quarantined']}")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        if args.format == "json":
+            _emit_json(report)
+        else:
+            print(f"checked {report['checked']} entries: "
+                  f"{report['ok']} ok, {report['quarantined']} quarantined, "
+                  f"{report['evicted']} evicted")
+        return 1 if report["quarantined"] else 0
+    kwargs = {"purge_quarantine": args.purge_quarantine}
+    if args.tmp_max_age is not None:
+        kwargs["tmp_max_age_s"] = args.tmp_max_age
+    report = store.gc(**kwargs)
+    if args.format == "json":
+        return _emit_json(report)
+    print(f"removed {report['tmp_removed']} stale temp file(s), "
+          f"{report['quarantine_removed']} quarantined entries")
     return 0
 
 
@@ -468,6 +587,7 @@ def _cmd_area(args) -> int:
 
 _COMMANDS = {
     "evaluate": _cmd_evaluate,
+    "store": _cmd_store,
     "scenarios": _cmd_scenarios,
     "platforms": _cmd_platforms,
     "thrash": _cmd_thrash,

@@ -1,0 +1,41 @@
+"""Deterministic fault injection: failures as data, recovery as policy.
+
+This package is the testing backbone of the fault-tolerant execution
+layer. A :class:`FaultPlan` arms a reproducible, seeded schedule of
+failures at named injection sites (``store.load``, ``store.save``,
+``workload.build``, ``platform.simulate``, plus byte-corruption and
+latency variants); library code consults it through the zero-overhead
+:func:`inject` / :func:`inject_bytes` hooks. The chaos suite
+(``tests/chaos/``) uses it to prove that the grid runner isolates
+per-cell failures, retries only transient errors, and that the
+artifact store never serves a corrupted payload.
+
+See :mod:`repro.faults.plan` for the full site table and determinism
+contract, and :mod:`repro.faults.errors` for the exception taxonomy.
+"""
+
+from repro.faults.errors import InjectedFault, InjectedIOError, InjectedLatency
+from repro.faults.plan import (
+    FaultPlan,
+    FaultRule,
+    Injection,
+    active_plan,
+    arm,
+    disarm,
+    inject,
+    inject_bytes,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "Injection",
+    "InjectedFault",
+    "InjectedIOError",
+    "InjectedLatency",
+    "active_plan",
+    "arm",
+    "disarm",
+    "inject",
+    "inject_bytes",
+]

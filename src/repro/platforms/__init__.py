@@ -18,6 +18,11 @@ persistent artifact store):
 """
 
 from repro.platforms.base import DatasetArtifacts, Platform, PlatformContext
+from repro.platforms.failures import (
+    ArtifactBuildError,
+    CellFailure,
+    RetryPolicy,
+)
 from repro.platforms.registry import (
     create_platform,
     get_platform_class,
@@ -38,6 +43,9 @@ __all__ = [
     "Platform",
     "PlatformContext",
     "DatasetArtifacts",
+    "ArtifactBuildError",
+    "CellFailure",
+    "RetryPolicy",
     "register_platform",
     "unregister_platform",
     "create_platform",

@@ -1,4 +1,4 @@
-"""Parallel executor of the platform x model x dataset grid.
+"""Parallel, failure-isolating executor of the platform grid.
 
 The runner owns everything the old ``EvaluationSuite.run`` hard-coded:
 
@@ -15,15 +15,33 @@ caches are shared rather than re-pickled per cell (a process pool
 would re-pay the dominant cost — artifact construction — in every
 worker). Simulations are deterministic pure functions of the warmed
 artifacts, so parallel runs are bit-identical to serial ones.
+
+Failure semantics
+-----------------
+
+One raising cell no longer aborts the fan-out. :meth:`GridRunner.run_cell`
+applies an optional :class:`~repro.platforms.failures.RetryPolicy`
+(transient errors only — injected faults and OS-level I/O errors,
+never validation ``ValueError``), and with ``on_error="collect"``
+captures the terminal exception as a typed
+:class:`~repro.platforms.failures.CellFailure` instead of raising.
+:meth:`GridRunner.run_grid` propagates the choice across the whole
+grid: ``"raise"`` (default) keeps the historical fail-fast contract,
+``"collect"`` returns failures as values next to the surviving
+reports. Store I/O never fails a cell: a failed load is a miss, a
+failed transient save forfeits only the cache write.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.faults import inject
 from repro.graph.hetero import HeteroGraph
 from repro.platforms.base import DatasetArtifacts, Platform, PlatformContext
+from repro.platforms.failures import ArtifactBuildError, CellFailure, RetryPolicy
 from repro.platforms.registry import create_platform
 from repro.platforms.store import ArtifactStore, config_digest
 
@@ -31,13 +49,16 @@ __all__ = ["GridRunner"]
 
 GridKey = tuple[str, str, str]
 
+_ON_ERROR = ("raise", "collect")
+
 
 class GridRunner:
     """Executes grid cells through the registry, memo and store.
 
     Args:
         context: configuration bundle handed to every platform.
-        seed: dataset generation seed (part of the store digest).
+        seed: dataset generation seed (part of the store digest, and
+            of deterministic retry jitter).
         scale: dataset scale factor (part of the store digest).
         store: optional persistent report store; ``None`` keeps results
             in memory only.
@@ -63,6 +84,9 @@ class GridRunner:
         self._artifacts: dict[str, DatasetArtifacts] = {}
         self._platforms: dict[str, Platform] = {}
         self._lock = threading.Lock()
+        # Per-dataset build locks: concurrent cells that need the same
+        # (not yet warmed) dataset build it once, not racily twice.
+        self._build_locks: dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------
     # Shared state (graphs, artifacts, platforms)
@@ -80,17 +104,28 @@ class GridRunner:
         if dataset not in self._graphs:
             from repro.scenarios import load_workload
 
+            inject("workload.build", key=dataset)
             self._graphs[dataset] = load_workload(
                 dataset, seed=self.seed, scale=self.scale
             )
         return self._graphs[dataset]
 
+    def _build_lock(self, dataset: str) -> threading.Lock:
+        with self._lock:
+            lock = self._build_locks.get(dataset)
+            if lock is None:
+                lock = self._build_locks[dataset] = threading.Lock()
+            return lock
+
     def artifacts(self, dataset: str) -> DatasetArtifacts:
-        """Warmed per-dataset topology artifacts (cached)."""
-        if dataset not in self._artifacts:
-            self._artifacts[dataset] = DatasetArtifacts.build(
-                self.graph(dataset)
-            )
+        """Warmed per-dataset topology artifacts (cached, built once)."""
+        if dataset in self._artifacts:
+            return self._artifacts[dataset]
+        with self._build_lock(dataset):
+            if dataset not in self._artifacts:
+                self._artifacts[dataset] = DatasetArtifacts.build(
+                    self.graph(dataset)
+                )
         return self._artifacts[dataset]
 
     def platform(self, name: str) -> Platform:
@@ -100,8 +135,12 @@ class GridRunner:
         return self._platforms[name]
 
     def warm_artifacts(
-        self, datasets: list[str] | tuple[str, ...], *, jobs: int = 1
-    ) -> None:
+        self,
+        datasets: list[str] | tuple[str, ...],
+        *,
+        jobs: int = 1,
+        errors: str = "raise",
+    ) -> dict[str, BaseException]:
         """Build the topology artifacts of every named dataset.
 
         Distinct datasets are independent, so with ``jobs > 1`` they
@@ -109,18 +148,43 @@ class GridRunner:
         sort-heavy trace work). Warming before a grid fan-out is what
         keeps parallel runs bit-identical to serial ones: once built,
         artifacts are read-only shared state.
+
+        A failing build always names its dataset: with
+        ``errors="raise"`` (default) the first failure — in dataset
+        order, not completion order — re-raises wrapped in
+        :class:`ArtifactBuildError`; with ``errors="collect"`` every
+        failure is returned in a ``{dataset: exception}`` map so the
+        caller can degrade per cell instead of aborting the grid.
         """
+        if errors not in _ON_ERROR:
+            raise ValueError(
+                f"errors must be one of {_ON_ERROR}, got {errors!r}"
+            )
         needed = [
             dataset
             for dataset in dict.fromkeys(datasets)
             if dataset not in self._artifacts
         ]
+        failures: dict[str, BaseException] = {}
+
+        def build(dataset: str) -> None:
+            try:
+                self.artifacts(dataset)
+            except Exception as exc:
+                failures[dataset] = exc
+
         if jobs > 1 and len(needed) > 1:
             with ThreadPoolExecutor(max_workers=jobs) as pool:
-                list(pool.map(self.artifacts, needed))
+                list(pool.map(build, needed))
         else:
             for dataset in needed:
-                self.artifacts(dataset)
+                build(dataset)
+        if failures and errors == "raise":
+            dataset = next(d for d in needed if d in failures)
+            raise ArtifactBuildError(dataset, failures[dataset]) from failures[
+                dataset
+            ]
+        return failures
 
     def _store_key(self, platform: Platform, model: str, dataset: str) -> str:
         # The workload digest covers the *resolved* generation recipe
@@ -153,6 +217,17 @@ class GridRunner:
             self.results.setdefault(cell, report)
         return True
 
+    def _save_best_effort(
+        self, platform: Platform, model: str, dataset: str, report: object
+    ) -> None:
+        """Persist one report; a transiently failing write only costs
+        the cache entry, never the computed cell."""
+        try:
+            self.store.save(self._store_key(platform, model, dataset), report)
+        except Exception as exc:
+            if not RetryPolicy.is_transient(exc):
+                raise
+
     def run_cell(
         self,
         platform_name: str,
@@ -160,18 +235,58 @@ class GridRunner:
         dataset: str,
         *,
         probe_store: bool = True,
+        retry: RetryPolicy | None = None,
+        on_error: str = "raise",
     ):
-        """Run (or fetch) one grid cell; memoized and store-backed."""
+        """Run (or fetch) one grid cell; memoized and store-backed.
+
+        Transient failures (see :meth:`RetryPolicy.is_transient`) are
+        retried up to ``retry.max_attempts`` with deterministic
+        backoff seeded by ``(run seed, cell key, attempt)``. The
+        terminal outcome either raises (``on_error="raise"``) or is
+        returned as a :class:`CellFailure` (``on_error="collect"``);
+        failures are never memoized, so a later call may retry the
+        cell fresh.
+        """
+        if on_error not in _ON_ERROR:
+            raise ValueError(
+                f"on_error must be one of {_ON_ERROR}, got {on_error!r}"
+            )
         key: GridKey = (platform_name, model, dataset)
         with self._lock:
             if key in self.results:
                 return self.results[key]
         if self.store is not None and probe_store and self._fill_from_store(key):
             return self.results[key]
+        # Unknown platforms are configuration errors, never CellFailures.
         platform = self.platform(platform_name)
-        report = platform.simulate(model, self.artifacts(dataset))
+        started = time.perf_counter()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                artifacts = self.artifacts(dataset)
+                inject("platform.simulate", key=key)
+                report = platform.simulate(model, artifacts)
+                break
+            except Exception as exc:
+                if retry is not None and retry.should_retry(exc, attempt):
+                    delay = retry.delay_s(
+                        attempt, seed=self.seed, token="|".join(key)
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if on_error == "collect":
+                    return CellFailure.from_exception(
+                        key,
+                        exc,
+                        attempts=attempt,
+                        elapsed_s=time.perf_counter() - started,
+                    )
+                raise
         if self.store is not None:
-            self.store.save(self._store_key(platform, model, dataset), report)
+            self._save_best_effort(platform, model, dataset, report)
         with self._lock:
             return self.results.setdefault(key, report)
 
@@ -182,6 +297,8 @@ class GridRunner:
         datasets: tuple[str, ...],
         *,
         jobs: int | None = None,
+        on_error: str = "raise",
+        retry: RetryPolicy | None = None,
     ) -> dict[GridKey, object]:
         """Populate (and return) results for a full grid.
 
@@ -191,9 +308,19 @@ class GridRunner:
         (they are the shared state; with ``jobs > 1`` distinct
         datasets warm concurrently), then the cells fan out over a
         thread pool.
-        Results are keyed by ``(platform, model, dataset)`` and
-        independent of completion order.
+
+        With ``on_error="raise"`` (default) the first cell failure
+        aborts the run. With ``on_error="collect"`` every cell runs to
+        a terminal outcome and the returned mapping holds a report
+        *or* a :class:`CellFailure` per cell — one bad cell costs
+        exactly one entry, never the fan-out. Results are keyed by
+        ``(platform, model, dataset)`` and independent of completion
+        order.
         """
+        if on_error not in _ON_ERROR:
+            raise ValueError(
+                f"on_error must be one of {_ON_ERROR}, got {on_error!r}"
+            )
         # Resolve every platform up front so an unknown name fails
         # before any simulation work starts.
         for name in platforms:
@@ -210,13 +337,22 @@ class GridRunner:
         pending = [c for c in cells if c not in self.results]
         if self.store is not None:
             pending = [c for c in pending if not self._fill_from_store(c)]
+        failures: dict[GridKey, CellFailure] = {}
         if pending:
+            # In collect mode a failed warm-up degrades to per-cell
+            # failures (each cell retries the build under its own
+            # retry budget); in raise mode it aborts, naming the
+            # dataset.
             self.warm_artifacts(
-                [d for _, _, d in pending], jobs=jobs
+                [d for _, _, d in pending], jobs=jobs, errors=on_error
             )
 
             def run(cell: GridKey):
-                return self.run_cell(*cell, probe_store=False)
+                outcome = self.run_cell(
+                    *cell, probe_store=False, retry=retry, on_error=on_error
+                )
+                if isinstance(outcome, CellFailure):
+                    failures[cell] = outcome
 
             if jobs > 1 and len(pending) > 1:
                 # The cells fan out only once every dataset is built
@@ -226,4 +362,7 @@ class GridRunner:
             else:
                 for cell in pending:
                     run(cell)
-        return {c: self.results[c] for c in cells}
+        return {
+            c: self.results[c] if c in self.results else failures[c]
+            for c in cells
+        }

@@ -1,0 +1,66 @@
+"""Chaos-suite fixtures: tiny grids and fault-plan hygiene.
+
+Every test here runs a real (but tiny) slice of the system under a
+seeded :class:`repro.faults.FaultPlan` and asserts the failure-
+semantics contract: surviving cells bit-identical to fault-free runs,
+exactly-once delivery, no corrupted payload ever served.
+
+``REPRO_CHAOS_SEED`` (used by the CI chaos job) pins the fault-plan
+seeds; hypothesis example generation is derandomized separately, so a
+chaos run is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import ExperimentSpec, Session
+from repro.faults import disarm
+from repro.models.base import ModelConfig
+
+#: Folded into every FaultPlan seed; the CI chaos job pins it.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1337"))
+
+#: Small enough that a full grid runs in ~15 ms, heterogeneous enough
+#: (two scenario families) that cells genuinely differ.
+TINY_MODEL = ModelConfig(hidden_dim=16, num_heads=2, embed_dim=8)
+TINY_DATASETS = (
+    "thrash:working_set=48,num_dst=6",
+    "uniform:num_dst=24,degree=2",
+)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        platforms=("t4", "hihgnn"),
+        models=("rgcn",),
+        datasets=TINY_DATASETS,
+        seed=7,
+        scale=1.0,
+        model_config=TINY_MODEL,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_plan():
+    """No chaos test may leak an armed plan into the next one."""
+    disarm()
+    yield
+    disarm()
+
+
+@pytest.fixture(scope="session")
+def chaos_spec() -> ExperimentSpec:
+    return tiny_spec()
+
+
+@pytest.fixture(scope="session")
+def baseline_cells(chaos_spec):
+    """Fault-free ground truth for bit-identity assertions."""
+    grid = Session(chaos_spec).run()
+    assert grid.ok
+    return {cell.key: cell for cell in grid.cells}

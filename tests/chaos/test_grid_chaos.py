@@ -1,0 +1,167 @@
+"""Grid execution under seeded fault schedules.
+
+The contract under test (see ``README.md`` "Failure semantics"):
+
+1. Surviving cells are **bit-identical** to a fault-free run — faults
+   may remove results, never change them.
+2. ``run``/``run_iter`` deliver every grid cell **exactly once**,
+   failures included.
+3. Failures are typed (:class:`CellFailure`), never cached: once the
+   plan is disarmed the same session recomputes the cells cleanly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import CellResult, Session
+from repro.faults import FaultPlan, FaultRule
+from repro.platforms.failures import CellFailure, RetryPolicy
+
+from tests.chaos.conftest import CHAOS_SEED, TINY_DATASETS, tiny_spec
+
+CHAOS_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    database=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+#: Schedules over the two sites that can fail a cell. Rates below 1.0
+#: exercise the per-(site, key) deterministic draw; budgets exercise
+#: faults a retry can cure.
+fault_rules = st.lists(
+    st.builds(
+        FaultRule,
+        site=st.sampled_from(["workload.build", "platform.simulate"]),
+        action=st.just("error"),
+        rate=st.sampled_from([0.3, 0.7, 1.0]),
+        times=st.one_of(st.none(), st.integers(min_value=1, max_value=3)),
+        match=st.one_of(
+            st.none(), st.sampled_from(["thrash", "uniform", "t4"])
+        ),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@given(rules=fault_rules, plan_seed=st.integers(min_value=0, max_value=7))
+@CHAOS_SETTINGS
+def test_surviving_cells_bit_identical(baseline_cells, rules, plan_seed):
+    spec = tiny_spec()
+    plan = FaultPlan(rules, seed=CHAOS_SEED + plan_seed)
+    with plan:
+        grid = Session(spec).run(on_error="collect")
+    # Exactly-once, in canonical order, failures included.
+    assert [cell.key for cell in grid.cells] == list(spec.cells())
+    for cell in grid.cells:
+        if cell.ok:
+            assert cell == baseline_cells[cell.key]
+            assert cell.failure is None
+        else:
+            assert cell.status == "failed"
+            assert isinstance(cell.failure, CellFailure)
+            assert cell.failure.key == cell.key
+            assert "InjectedFault" in cell.failure.error_type
+    # Failures were never cached: a fault-free rerun heals completely.
+    healed = Session(spec).run()
+    assert healed.ok
+    assert {c.key: c for c in healed.cells} == baseline_cells
+
+
+@given(rules=fault_rules, plan_seed=st.integers(min_value=0, max_value=7))
+@CHAOS_SETTINGS
+def test_fault_schedules_replay_bit_identically(rules, plan_seed):
+    """The same plan (rules + seed) fails the same cells every time."""
+
+    def casualties():
+        plan = FaultPlan(rules, seed=CHAOS_SEED + plan_seed)
+        with plan:
+            grid = Session(tiny_spec()).run(on_error="collect")
+        log = [
+            (entry.site, entry.action, entry.rule_index, entry.call_index)
+            for entry in plan.log
+        ]
+        return {c.key for c in grid.failures}, sorted(log)
+
+    first_failed, first_log = casualties()
+    second_failed, second_log = casualties()
+    assert first_failed == second_failed
+    assert first_log == second_log
+
+
+def test_run_iter_exactly_once_under_faults(baseline_cells):
+    spec = tiny_spec()
+    plan = FaultPlan(
+        [FaultRule("platform.simulate", rate=0.5)], seed=CHAOS_SEED
+    )
+    with plan:
+        seen = list(Session(spec, jobs=4).run_iter(on_error="collect"))
+    assert sorted(c.key for c in seen) == sorted(spec.cells())
+    assert len({c.key for c in seen}) == len(seen)
+    for cell in seen:
+        assert isinstance(cell, CellResult)
+        if cell.ok:
+            assert cell == baseline_cells[cell.key]
+
+
+def test_retry_cures_budgeted_faults(baseline_cells):
+    """A fault with a firing budget of 1 per cell is survivable with
+    one retry — and the retried results are still bit-identical."""
+    spec = tiny_spec()
+    # One single-shot rule per cell (matched on the cell key), so every
+    # cell's first attempt fails and its one retry succeeds.
+    plan = FaultPlan(
+        [
+            FaultRule("platform.simulate", times=1, match=str(key))
+            for key in spec.cells()
+        ],
+        seed=CHAOS_SEED,
+    )
+    with plan:
+        grid = Session(spec).run(
+            on_error="collect", retry=RetryPolicy(max_attempts=2)
+        )
+    assert grid.ok
+    assert plan.fired_at("platform.simulate") == len(grid)
+    assert {c.key: c for c in grid.cells} == baseline_cells
+
+
+def test_workload_build_fault_degrades_whole_dataset(baseline_cells):
+    """A dataset whose build fails costs exactly that dataset's cells."""
+    spec = tiny_spec()
+    bad, good = TINY_DATASETS
+    plan = FaultPlan(
+        [FaultRule("workload.build", match="thrash")], seed=CHAOS_SEED
+    )
+    with plan:
+        grid = Session(spec).run(on_error="collect")
+    for cell in grid.cells:
+        if cell.dataset == bad:
+            assert not cell.ok
+        else:
+            assert cell == baseline_cells[cell.key]
+    # Derived reports degrade to the surviving dataset's columns.
+    speedup = grid.speedup(baseline="t4")
+    assert good in speedup["rgcn"]
+    assert bad not in speedup["rgcn"]
+    assert speedup.geomean("hihgnn") > 0
+
+
+def test_raise_mode_contract_is_unchanged(baseline_cells):
+    """Without on_error="collect" the first injected fault propagates."""
+    import pytest
+
+    from repro.faults import InjectedFault
+    from repro.platforms.failures import ArtifactBuildError
+
+    with FaultPlan([FaultRule("platform.simulate")], seed=CHAOS_SEED):
+        with pytest.raises(InjectedFault):
+            Session(tiny_spec()).run()
+    with FaultPlan([FaultRule("workload.build")], seed=CHAOS_SEED):
+        with pytest.raises(ArtifactBuildError) as excinfo:
+            Session(tiny_spec()).run()
+    assert excinfo.value.dataset in TINY_DATASETS

@@ -1,0 +1,219 @@
+"""Artifact store under injected I/O faults and byte corruption.
+
+The invariant: :meth:`ArtifactStore.load` returns the exact saved
+payload or ``None`` — never corrupted data — no matter what fault
+schedule is armed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Session
+from repro.faults import FaultPlan, FaultRule, InjectedIOError
+from repro.platforms import ArtifactStore
+
+from tests.chaos.conftest import CHAOS_SEED, tiny_spec
+
+CHAOS_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    database=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def entry(store, digest="d0"):
+    return store.key_for("t4", "rgcn", "acm", digest)
+
+
+class TestSaveCorruption:
+    def test_corrupted_write_is_never_served(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = entry(store)
+        plan = FaultPlan(
+            [FaultRule("store.save.bytes", action="corrupt")],
+            seed=CHAOS_SEED,
+        )
+        with plan:
+            store.save(key, {"time_ms": 1.5})
+        assert plan.fired == 1  # corruption really landed on disk
+        assert store.load(key) is None
+        assert store.stats.quarantined == 1
+
+    def test_save_io_error_raises_and_leaves_no_debris(self, tmp_path):
+        import pytest
+
+        store = ArtifactStore(tmp_path)
+        key = entry(store)
+        with FaultPlan(
+            [FaultRule("store.save", action="io-error")], seed=CHAOS_SEED
+        ):
+            with pytest.raises(InjectedIOError):
+                store.save(key, {"time_ms": 1.5})
+        assert store.load(key) is None
+        assert store.disk_stats()["tmp_files"] == 0
+
+
+class TestLoadFaults:
+    def test_transient_read_corruption_recovers_under_lock(self, tmp_path):
+        """One corrupted read is not evidence the *file* is corrupt:
+        the locked re-read serves the good entry, nothing quarantined."""
+        store = ArtifactStore(tmp_path)
+        key = entry(store)
+        store.save(key, {"time_ms": 1.5})
+        with FaultPlan(
+            [FaultRule("store.load.bytes", action="corrupt", times=1)],
+            seed=CHAOS_SEED,
+        ) as plan:
+            assert store.load(key) == {"time_ms": 1.5}
+        assert plan.fired == 1
+        assert store.stats.quarantined == 0
+        assert store.stats.hits == 1
+
+    def test_read_io_error_is_a_miss_that_leaves_the_file(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = entry(store)
+        store.save(key, {"time_ms": 1.5})
+        with FaultPlan(
+            [FaultRule("store.load", action="io-error", times=1)],
+            seed=CHAOS_SEED,
+        ):
+            assert store.load(key) is None
+        assert store.stats.read_errors == 1
+        assert store._path(key).exists()
+        assert store.load(key) == {"time_ms": 1.5}  # flaky, not corrupt
+
+    def test_latency_injection_only_slows_the_load(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = entry(store)
+        store.save(key, {"time_ms": 1.5})
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    "store.load", action="latency", latency_s=0.01, times=1
+                )
+            ],
+            seed=CHAOS_SEED,
+        )
+        with plan:
+            assert store.load(key) == {"time_ms": 1.5}
+        assert plan.fired == 1
+
+
+#: One operation of a randomized store workload.
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["save", "load", "delete"]),
+        st.integers(min_value=0, max_value=3),  # which key
+        st.integers(min_value=0, max_value=99),  # payload version
+    ),
+    min_size=4,
+    max_size=20,
+)
+
+#: Randomized fault schedules over every store site.
+store_rules = st.lists(
+    st.builds(
+        FaultRule,
+        site=st.sampled_from(
+            ["store.load", "store.save", "store.load.bytes",
+             "store.save.bytes", "store.*"]
+        ),
+        action=st.sampled_from(["error", "io-error", "corrupt"]),
+        rate=st.sampled_from([0.4, 1.0]),
+        times=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@given(operations=ops, rules=store_rules, plan_seed=st.integers(0, 7))
+@CHAOS_SETTINGS
+def test_no_schedule_ever_serves_wrong_data(
+    tmp_path_factory, operations, rules, plan_seed
+):
+    """Property: under ANY fault schedule, a load returns the exact
+    last successfully saved payload, a stale-but-valid older payload
+    (the save failed after committing nothing), or None — never
+    corrupted or cross-key data."""
+    store = ArtifactStore(
+        tmp_path_factory.mktemp("chaos-store"), fsync=False
+    )
+    committed: dict[int, set[int]] = {i: set() for i in range(4)}
+    with FaultPlan(rules, seed=CHAOS_SEED + plan_seed):
+        for op, slot, version in operations:
+            key = entry(store, digest=f"slot{slot}")
+            payload = {"slot": slot, "version": version}
+            if op == "save":
+                try:
+                    store.save(key, payload)
+                    committed[slot].add(version)
+                except Exception:
+                    # A failed save may or may not have committed; a
+                    # corrupted commit must read back as None.
+                    committed[slot].add(version)
+            elif op == "delete":
+                store.delete(key)
+            else:
+                value = store.load(key)
+                if value is not None:
+                    assert value["slot"] == slot
+                    assert value["version"] in committed[slot]
+    # Whatever survived the schedule, the store scrubs clean.
+    report = store.verify()
+    assert report["checked"] == report["ok"] + report["quarantined"]
+    assert store.verify()["quarantined"] == 0  # scrub converges
+
+
+class TestSessionStoreFaults:
+    def test_save_faults_cost_only_the_cache(self, tmp_path, baseline_cells):
+        """Injected store-save failures never fail a cell: the run
+        completes bit-identically, the store just stays cold."""
+        spec = tiny_spec()
+        store = ArtifactStore(tmp_path)
+        with FaultPlan(
+            [FaultRule("store.save", action="io-error")], seed=CHAOS_SEED
+        ):
+            grid = Session(spec, store=store).run()
+        assert grid.ok
+        assert {c.key: c for c in grid.cells} == baseline_cells
+        assert store.stats.puts == 0
+        assert len(store) == 0
+
+    def test_load_faults_degrade_to_misses(self, tmp_path, baseline_cells):
+        """A warm store behind a flaky read path recomputes: same
+        results, just slower."""
+        spec = tiny_spec()
+        store = ArtifactStore(tmp_path)
+        warm = Session(spec, store=store).run()
+        assert warm.ok and store.stats.puts == len(warm)
+        flaky_store = ArtifactStore(tmp_path)
+        with FaultPlan(
+            [FaultRule("store.load", action="io-error")], seed=CHAOS_SEED
+        ):
+            grid = Session(spec, store=flaky_store).run()
+        assert grid.ok
+        assert {c.key: c for c in grid.cells} == baseline_cells
+        assert flaky_store.stats.hits == 0
+        assert flaky_store.stats.read_errors > 0
+
+    def test_corrupted_store_bytes_never_reach_results(
+        self, tmp_path, baseline_cells
+    ):
+        """Corruption on the store read path quarantines and
+        recomputes — results stay bit-identical to fault-free runs."""
+        spec = tiny_spec()
+        store = ArtifactStore(tmp_path)
+        Session(spec, store=store).run()
+        scarred = ArtifactStore(tmp_path)
+        with FaultPlan(
+            [FaultRule("store.load.bytes", action="corrupt")],
+            seed=CHAOS_SEED,
+        ):
+            grid = Session(spec, store=scarred).run()
+        assert grid.ok
+        assert {c.key: c for c in grid.cells} == baseline_cells

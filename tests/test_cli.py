@@ -396,3 +396,165 @@ class TestNonFiniteScenarioParams:
             "thrash", "--dataset", "community:mixing=inf", "--scale", "0.05",
         ]) == 2
         assert "finite" in capsys.readouterr().err
+
+
+class TestStoreCommand:
+    def test_stats_empty_store(self, capsys, tmp_path):
+        assert main([
+            "store", "stats", "--cache-dir", str(tmp_path / "s"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "quarantined" in out
+
+    def test_stats_json_inventory(self, capsys, tmp_path):
+        from repro.platforms import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "s")
+        store.save(store.key_for("t4", "rgcn", "acm", "d0"), {"x": 1})
+        assert main([
+            "store", "stats", "--cache-dir", str(tmp_path / "s"),
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["bytes"] > 0
+        assert payload["tmp_files"] == 0
+
+    def test_verify_clean_store_exits_zero(self, capsys, tmp_path):
+        from repro.platforms import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "s")
+        store.save(store.key_for("t4", "rgcn", "acm", "d0"), {"x": 1})
+        assert main([
+            "store", "verify", "--cache-dir", str(tmp_path / "s"),
+        ]) == 0
+        assert "1 ok" in capsys.readouterr().out
+
+    def test_verify_corrupt_store_exits_one(self, capsys, tmp_path):
+        from repro.platforms import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "s")
+        key = store.key_for("t4", "rgcn", "acm", "d0")
+        store.save(key, {"x": 1})
+        store._path(key).write_bytes(b"bit rot")
+        assert main([
+            "store", "verify", "--cache-dir", str(tmp_path / "s"),
+            "--format", "json",
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["quarantined"] == 1
+        # The corpse is quarantined: a second verify is clean.
+        assert main([
+            "store", "verify", "--cache-dir", str(tmp_path / "s"),
+        ]) == 0
+
+    def test_gc_sweeps_tmps_and_quarantine(self, capsys, tmp_path):
+        from repro.platforms import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "s")
+        key = store.key_for("t4", "rgcn", "acm", "d0")
+        store.save(key, {"x": 1})
+        store._path(key).write_bytes(b"bit rot")
+        assert store.load(key) is None  # quarantines
+        (store.root / "aa").mkdir(exist_ok=True)
+        (store.root / "aa" / "orphan.tmp").write_bytes(b"partial")
+        assert main([
+            "store", "gc", "--cache-dir", str(tmp_path / "s"),
+            "--tmp-max-age", "0", "--purge-quarantine", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"tmp_removed": 1, "quarantine_removed": 1}
+
+
+class TestFailureIsolation:
+    SCENARIOS = [
+        "--scenario", "thrash:working_set=48,num_dst=6",
+        "--scenario", "uniform:num_dst=24,degree=2",
+    ]
+    BASE = [
+        "evaluate", "--platforms", "t4,hihgnn", "--models", "rgcn",
+        "--scale", "1.0", "--no-cache", *SCENARIOS,
+    ]
+
+    @pytest.fixture(autouse=True)
+    def clean_slate(self):
+        from repro.faults import disarm
+
+        disarm()
+        yield
+        disarm()
+
+    def test_keep_going_reports_and_exits_one(self, capsys):
+        from repro.faults import FaultPlan, FaultRule
+
+        with FaultPlan([FaultRule("platform.simulate", match="uniform")]):
+            code = main([*self.BASE, "--keep-going"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED" in captured.err
+        assert "InjectedFault" in captured.err
+        # Degraded tables render "-" for the dead cells.
+        assert "| -" in captured.out
+        assert "GEOMEAN" in captured.out
+
+    def test_without_keep_going_the_fault_propagates(self):
+        from repro.faults import FaultPlan, FaultRule, InjectedFault
+
+        with FaultPlan([FaultRule("platform.simulate", match="uniform")]):
+            with pytest.raises(InjectedFault):
+                main(self.BASE)
+
+    def test_max_retries_cures_transient_faults(self, capsys):
+        from repro.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan([FaultRule("platform.simulate", times=1)])
+        with plan:
+            code = main([*self.BASE, "--keep-going", "--max-retries", "2"])
+        assert code == 0
+        assert plan.fired == 1
+        assert "FAILED" not in capsys.readouterr().err
+
+    def test_negative_max_retries_rejected(self, capsys):
+        assert main([*self.BASE, "--max-retries", "-1"]) == 2
+        assert "max-retries" in capsys.readouterr().err
+
+    def test_keep_going_json_marks_failed_cells(self, capsys):
+        from repro.faults import FaultPlan, FaultRule
+
+        with FaultPlan([FaultRule("platform.simulate", match="uniform")]):
+            code = main([*self.BASE, "--keep-going", "--format", "json"])
+        captured = capsys.readouterr()
+        assert code == 1
+        payload = json.loads(captured.out)
+        statuses = {
+            (c["platform"], c["dataset"]): c.get("status", "ok")
+            for c in payload["grid"]["cells"]
+        }
+        assert "failed" in statuses.values() and "ok" in statuses.values()
+        for cell in payload["grid"]["cells"]:
+            if cell.get("status") == "failed":
+                assert cell["failure"]["error_type"].endswith("InjectedFault")
+
+    def test_store_stats_json_key_is_opt_in(self, capsys, tmp_path):
+        args = [
+            "evaluate", "--platforms", "t4", "--models", "rgcn",
+            "--scale", "1.0", *self.SCENARIOS,
+            "--cache-dir", str(tmp_path / "s"), "--format", "json",
+        ]
+        assert main(args) == 0
+        assert "store_stats" not in json.loads(capsys.readouterr().out)
+        assert main([*args, "--store-stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)["store_stats"]
+        assert stats["hits"] == 2  # warm rerun served from the store
+        assert stats["quarantined"] == 0
+
+    def test_store_stats_table_line(self, capsys, tmp_path):
+        assert main([
+            "evaluate", "--platforms", "t4", "--models", "rgcn",
+            "--scale", "1.0", *self.SCENARIOS,
+            "--cache-dir", str(tmp_path / "s"), "--store-stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "artifact store:" in out  # the historical line survives
+        assert "store counters:" in out
+        assert "puts=2" in out
