@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -67,6 +66,11 @@ class Session:
             survive the process and later sessions (or concurrent CLI
             invocations) are warm.
         jobs: default worker count for grid fan-out (1 = serial).
+        executor: default fan-out backend — ``"thread"`` (shared
+            address space), ``"process"`` (true multicore over
+            shared-memory artifacts) or ``"auto"`` (process when
+            ``jobs > 1`` and the machine has more than one CPU).
+            Results are bit-identical across backends.
     """
 
     def __init__(
@@ -75,12 +79,36 @@ class Session:
         *,
         store: ArtifactStore | None = None,
         jobs: int = 1,
+        executor: str = "thread",
     ) -> None:
+        if executor not in ("thread", "process", "auto"):
+            raise ValueError(
+                "executor must be one of ('thread', 'process', 'auto'), "
+                f"got {executor!r}"
+            )
         self.spec = spec if spec is not None else ExperimentSpec()
         self.store = store
         self.jobs = max(1, int(jobs))
+        self.executor = executor
         self._workspaces: dict[object, _Workspace] = {}
         self._workspaces_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Release per-workspace resources (shared-memory segments).
+
+        Safe to skip: every runner also unlinks its segments when
+        garbage collected and at interpreter exit.
+        """
+        with self._workspaces_lock:
+            workspaces = list(self._workspaces.values())
+        for workspace in workspaces:
+            workspace.runner.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Workspaces and shared artifacts
@@ -97,6 +125,7 @@ class Session:
                         seed=spec.seed,
                         scale=spec.scale,
                         jobs=self.jobs,
+                        executor=self.executor,
                     )
                 )
                 self._workspaces[key] = workspace
@@ -177,6 +206,21 @@ class Session:
         outcome = workspace.runner.run_cell(
             *key, probe_store=False, retry=retry, on_error=on_error
         )
+        return self._finalize(workspace, spec, key, outcome)
+
+    def _finalize(
+        self,
+        workspace: _Workspace,
+        spec: ExperimentSpec,
+        key: GridKey,
+        outcome: object,
+    ) -> CellResult:
+        """Turn a runner outcome into a typed, persisted CellResult.
+
+        Always runs in the parent process — also for cells simulated on
+        the process backend — so the store's bytes are identical no
+        matter which executor produced the report.
+        """
         if isinstance(outcome, CellFailure):
             return CellResult.from_failure(outcome)
         # Re-key on the grid coordinate: reports label themselves with
@@ -235,6 +279,7 @@ class Session:
         spec: ExperimentSpec | None = None,
         *,
         jobs: int | None = None,
+        executor: str | None = None,
         progress: ProgressCallback | None = None,
         on_error: str = "raise",
         retry: RetryPolicy | None = None,
@@ -243,9 +288,12 @@ class Session:
 
         Cached cells (session memo or store hits) are yielded first —
         without generating a single graph — then the remaining cells
-        fan out over a thread pool and stream back in completion
+        fan out over the thread or process backend
+        (:meth:`GridRunner.run_cells`) and stream back in completion
         order. The union of yielded cells always equals
-        ``spec.cells()``; only the order varies with ``jobs``.
+        ``spec.cells()``; only the order varies with ``jobs`` — the
+        results themselves are bit-identical across backends and
+        worker counts.
 
         With ``on_error="collect"`` cell failures are isolated: a
         failing cell yields ``CellResult(status="failed")`` (typed
@@ -287,7 +335,9 @@ class Session:
             return
         # Topology artifacts are the state shared across workers: warm
         # them before the fan-out so parallel runs stay bit-identical
-        # to serial ones (distinct datasets warm concurrently).
+        # to serial ones (distinct datasets warm concurrently). The
+        # process backend publishes exactly these warmed artifacts to
+        # shared memory.
         workspace.runner.warm_artifacts(
             [dataset for _, _, dataset in pending],
             jobs=jobs,
@@ -295,40 +345,24 @@ class Session:
             # per-cell failures instead of aborting the stream.
             errors=on_error,
         )
-        if jobs > 1 and len(pending) > 1:
-            pool = ThreadPoolExecutor(max_workers=jobs)
-            try:
-                futures = [
-                    pool.submit(
-                        self._compute,
-                        workspace,
-                        spec,
-                        key,
-                        retry=retry,
-                        on_error=on_error,
-                    )
-                    for key in pending
-                ]
-                for future in as_completed(futures):
-                    yield emit(future.result())
-            finally:
-                # An abandoned generator (consumer breaks early) must
-                # not simulate the rest of the grid: drop queued cells
-                # and wait only for the ones already in flight.
-                pool.shutdown(wait=True, cancel_futures=True)
-        else:
-            for key in pending:
-                yield emit(
-                    self._compute(
-                        workspace, spec, key, retry=retry, on_error=on_error
-                    )
-                )
+        # run_cells cancels not-yet-started cells when this generator
+        # is abandoned early (consumer breaks), waiting only for the
+        # ones already in flight.
+        for key, outcome in workspace.runner.run_cells(
+            pending,
+            jobs=jobs,
+            executor=self.executor if executor is None else executor,
+            retry=retry,
+            on_error=on_error,
+        ):
+            yield emit(self._finalize(workspace, spec, key, outcome))
 
     def run(
         self,
         spec: ExperimentSpec | None = None,
         *,
         jobs: int | None = None,
+        executor: str | None = None,
         progress: ProgressCallback | None = None,
         on_error: str = "raise",
         retry: RetryPolicy | None = None,
@@ -348,7 +382,12 @@ class Session:
         spec = self.spec if spec is None else spec
         collected: dict[GridKey, CellResult] = {}
         for result in self.run_iter(
-            spec, jobs=jobs, progress=progress, on_error=on_error, retry=retry
+            spec,
+            jobs=jobs,
+            executor=executor,
+            progress=progress,
+            on_error=on_error,
+            retry=retry,
         ):
             collected[result.key] = result
         return GridResult(

@@ -72,8 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--platforms", default=None,
                           help="comma-separated platform list "
                                "(default: the four paper platforms)")
-    evaluate.add_argument("--jobs", type=int, default=1,
-                          help="grid worker count (1 = serial)")
+    evaluate.add_argument("--jobs", default="1", metavar="N|auto",
+                          help="grid worker count (1 = serial, "
+                               "'auto' = CPU count)")
+    evaluate.add_argument("--executor", default="thread",
+                          choices=("thread", "process", "auto"),
+                          help="fan-out backend: 'thread' shares one "
+                               "address space, 'process' runs true "
+                               "multicore over shared-memory artifacts, "
+                               "'auto' picks process when --jobs > 1 "
+                               "and the machine is multicore; results "
+                               "are bit-identical either way")
     evaluate.add_argument("--no-cache", action="store_true",
                           help="skip the on-disk artifact store")
     evaluate.add_argument("--cache-dir", default=None,
@@ -191,6 +200,16 @@ def _cmd_evaluate(args) -> int:
     if args.max_retries < 0:
         print("error: --max-retries must be >= 0", file=sys.stderr)
         return 2
+    from repro.platforms.runner import resolve_jobs
+
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError:
+        print(
+            f"error: --jobs must be an integer or 'auto', got {args.jobs!r}",
+            file=sys.stderr,
+        )
+        return 2
     requested = (
         tuple(args.platforms.split(","))
         if args.platforms
@@ -218,7 +237,9 @@ def _cmd_evaluate(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     store = None if args.no_cache else ArtifactStore(args.cache_dir)
-    session = Session(spec, store=store, jobs=args.jobs)
+    session = Session(
+        spec, store=store, jobs=jobs, executor=args.executor
+    )
 
     progress = None
     if args.progress:
@@ -245,6 +266,9 @@ def _cmd_evaluate(args) -> int:
     grid_full = session.run(
         run_spec, progress=progress, on_error=on_error, retry=retry
     )
+    # Unlink any shared-memory segments the process backend published;
+    # everything below is pure report assembly.
+    session.close()
     for failed in grid_full.failures:
         failure = failed.failure
         print(

@@ -65,6 +65,24 @@ class CSR:
             raise ValueError("indices out of range for num_cols")
 
     @classmethod
+    def from_parts(
+        cls, indptr: np.ndarray, indices: np.ndarray, num_cols: int
+    ) -> "CSR":
+        """Adopt already-validated arrays without re-checking them.
+
+        The attach path of the shared-memory artifact layout
+        (:mod:`repro.platforms.shm`) rebuilds CSRs from arrays that
+        were validated once at build time and published read-only;
+        re-running ``__post_init__`` there would cost O(E) per worker
+        per dataset for nothing. Callers own the validity guarantee.
+        """
+        csr = object.__new__(cls)
+        object.__setattr__(csr, "indptr", indptr)
+        object.__setattr__(csr, "indices", indices)
+        object.__setattr__(csr, "num_cols", int(num_cols))
+        return csr
+
+    @classmethod
     def from_coo(
         cls,
         rows: np.ndarray,

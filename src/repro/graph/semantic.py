@@ -209,6 +209,97 @@ class SemanticGraph:
             self._na_artifact = TraceArtifact(self.na_trace())
         return self._na_artifact
 
+    # ------------------------------------------------------------------
+    # Shared-memory publication (zero-copy layout)
+    # ------------------------------------------------------------------
+
+    def topology_arrays(self) -> dict[str, np.ndarray]:
+        """Every warmed topology array under a stable field name.
+
+        Forces all lazy caches (CSR/CSC, active sets, NA trace, replay
+        artifact and its stack distances) and returns the contiguous
+        arrays a shared-memory segment packs. Inverse of
+        :meth:`from_shared`.
+        """
+        artifact = self.na_replay()
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "csr_indptr": self.csr.indptr,
+            "csr_indices": self.csr.indices,
+            "csc_indptr": self.csc.indptr,
+            "csc_indices": self.csc.indices,
+            "active_src": self.active_src(),
+            "active_dst": self.active_dst(),
+            "na_trace": self.na_trace(),
+            "na_prev": artifact.prev,
+            "na_first_pos": artifact.first_pos,
+            "na_last_pos": artifact.last_pos,
+            "na_uniq_sorted": artifact.uniq_sorted,
+            "na_id_index": artifact.id_index,
+            "na_distances": artifact.distances,
+        }
+
+    def topology_meta(self) -> dict:
+        """Picklable scalar metadata accompanying :meth:`topology_arrays`."""
+        return {
+            "relation": (
+                self.relation.src_type,
+                self.relation.name,
+                self.relation.dst_type,
+            ),
+            "num_src": int(self.num_src),
+            "num_dst": int(self.num_dst),
+            "src_global_base": int(self.src_global_base),
+            "dst_global_base": int(self.dst_global_base),
+            "src_feature_dim": int(self.src_feature_dim),
+            "dst_feature_dim": int(self.dst_feature_dim),
+        }
+
+    @classmethod
+    def from_shared(
+        cls, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> "SemanticGraph":
+        """Rebuild a fully-warmed graph from published arrays (trusted).
+
+        The arrays are zero-copy views into an attached shared-memory
+        segment; every lazy cache is prefilled, so the returned graph
+        never recomputes topology. Validation is skipped — the parent
+        validated at build time and the segment digest guards against
+        attaching the wrong data.
+        """
+        from repro.memory.replay import TraceArtifact
+
+        sg = cls.__new__(cls)
+        sg.relation = Relation(*meta["relation"])
+        sg.num_src = meta["num_src"]
+        sg.num_dst = meta["num_dst"]
+        sg.src = arrays["src"]
+        sg.dst = arrays["dst"]
+        sg.src_global_base = meta["src_global_base"]
+        sg.dst_global_base = meta["dst_global_base"]
+        sg.src_feature_dim = meta["src_feature_dim"]
+        sg.dst_feature_dim = meta["dst_feature_dim"]
+        sg._csr = CSR.from_parts(
+            arrays["csr_indptr"], arrays["csr_indices"], meta["num_dst"]
+        )
+        sg._csc = CSR.from_parts(
+            arrays["csc_indptr"], arrays["csc_indices"], meta["num_src"]
+        )
+        sg._active_src = arrays["active_src"]
+        sg._active_dst = arrays["active_dst"]
+        sg._na_trace = arrays["na_trace"]
+        sg._na_artifact = TraceArtifact.from_parts(
+            arrays["na_trace"],
+            prev=arrays["na_prev"],
+            first_pos=arrays["na_first_pos"],
+            last_pos=arrays["na_last_pos"],
+            uniq_sorted=arrays["na_uniq_sorted"],
+            id_index=arrays["na_id_index"],
+            distances=arrays["na_distances"],
+        )
+        return sg
+
     def reversed(self) -> "SemanticGraph":
         """The reverse semantic graph (roles swapped)."""
         return SemanticGraph(

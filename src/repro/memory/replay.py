@@ -184,6 +184,36 @@ class TraceArtifact:
         id_index[pos_sorted] = gid
         self.id_index = id_index
 
+    @classmethod
+    def from_parts(
+        cls,
+        trace: np.ndarray,
+        *,
+        prev: np.ndarray,
+        first_pos: np.ndarray,
+        last_pos: np.ndarray,
+        uniq_sorted: np.ndarray,
+        id_index: np.ndarray,
+        distances: np.ndarray | None = None,
+    ) -> "TraceArtifact":
+        """Adopt precomputed replay arrays without recomputing them.
+
+        Zero-copy counterpart of ``__init__`` for artifacts published
+        through shared memory (:mod:`repro.platforms.shm`): attaching
+        workers pay no sort and no dominance count — the arrays are
+        the very ones the parent computed once.
+        """
+        artifact = cls.__new__(cls)
+        artifact.trace = trace
+        artifact.n = trace.shape[0]
+        artifact.prev = prev
+        artifact.first_pos = first_pos
+        artifact.last_pos = last_pos
+        artifact.uniq_sorted = uniq_sorted
+        artifact.id_index = id_index
+        artifact._distances = distances
+        return artifact
+
     @property
     def num_distinct(self) -> int:
         return len(self.uniq_sorted)

@@ -8,13 +8,28 @@ The runner owns everything the old ``EvaluationSuite.run`` hard-coded:
 - platform instances resolved through the registry,
 - an in-memory result memo plus an optional persistent
   :class:`~repro.platforms.store.ArtifactStore`,
-- a ``concurrent.futures`` thread pool for ``jobs > 1``.
+- a ``concurrent.futures`` thread or process pool for ``jobs > 1``.
 
-Workers share one address space, so topology artifacts and the replay
-caches are shared rather than re-pickled per cell (a process pool
-would re-pay the dominant cost — artifact construction — in every
-worker). Simulations are deterministic pure functions of the warmed
-artifacts, so parallel runs are bit-identical to serial ones.
+Two fan-out backends share one contract (``executor=``):
+
+- ``"thread"`` — workers share the address space; topology artifacts
+  are shared by reference. Bounded by the GIL for the pure-Python
+  parts of a simulation.
+- ``"process"`` — true multicore. The parent warms each dataset once,
+  publishes its topology arrays into shared memory
+  (:mod:`repro.platforms.shm`), and workers attach them as zero-copy
+  read-only views — no artifact is ever rebuilt or pickled per cell.
+  All store I/O and memoization stay in the parent, so the store's
+  bytes are identical to a serial run.
+- ``"auto"`` — ``"process"`` when ``jobs > 1`` and the machine has
+  more than one CPU, else ``"thread"``.
+
+Simulations are deterministic pure functions of the warmed artifacts,
+so parallel runs are bit-identical to serial ones under either
+backend. Fault plans survive the process hop: workers re-arm a fresh
+:class:`~repro.faults.FaultPlan` from the parent's ``(rules, seed)``,
+and firing is a pure function of ``(seed, rule, site, key, n)`` — the
+schedule hits the same cells it would in-process.
 
 Failure semantics
 -----------------
@@ -34,9 +49,16 @@ failed transient save forfeits only the cache write.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+import weakref
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 
 from repro.faults import inject
 from repro.graph.hetero import HeteroGraph
@@ -45,11 +67,95 @@ from repro.platforms.failures import ArtifactBuildError, CellFailure, RetryPolic
 from repro.platforms.registry import create_platform
 from repro.platforms.store import ArtifactStore, config_digest
 
-__all__ = ["GridRunner"]
+__all__ = ["GridRunner", "resolve_executor", "resolve_jobs"]
 
 GridKey = tuple[str, str, str]
 
 _ON_ERROR = ("raise", "collect")
+_EXECUTORS = ("thread", "process", "auto")
+
+#: Start method for the process backend. ``fork`` is preferred where
+#: available (no re-import, instant workers); ``REPRO_MP_START_METHOD``
+#: overrides (e.g. ``spawn`` to exercise the macOS/Windows default).
+ENV_MP_START_METHOD = "REPRO_MP_START_METHOD"
+
+
+def resolve_executor(executor: str, jobs: int) -> str:
+    """Collapse ``"auto"`` to a concrete backend for this machine."""
+    if executor not in _EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {_EXECUTORS}, got {executor!r}"
+        )
+    if executor == "auto":
+        return "process" if jobs > 1 and (os.cpu_count() or 1) > 1 else "thread"
+    return executor
+
+
+def resolve_jobs(jobs: int | str | None) -> int:
+    """Parse a job count, accepting ``"auto"`` (= CPU count)."""
+    if jobs is None:
+        return 1
+    if isinstance(jobs, str):
+        if jobs.strip().lower() == "auto":
+            return os.cpu_count() or 1
+        jobs = int(jobs)
+    return max(1, jobs)
+
+
+def _mp_context():
+    import multiprocessing
+
+    method = os.environ.get(ENV_MP_START_METHOD)
+    if not method:
+        available = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in available else "spawn"
+    return multiprocessing.get_context(method)
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker protocol
+# ----------------------------------------------------------------------
+#
+# The initializer receives everything a worker needs exactly once per
+# worker: the platform context, (seed, scale), the shared-memory
+# handles of every published dataset, and the parent's fault schedule
+# as picklable ``(rules, seed)`` (a FaultPlan holds a lock and cannot
+# travel; firing is a pure function of the pair, so a re-armed copy
+# hits the same cells). Workers keep a store-less GridRunner in module
+# state; per-cell traffic is just the (tiny) cell key and its report.
+
+_WORKER_RUNNER: "GridRunner | None" = None
+
+
+def _worker_init(context, seed, scale, handles, fault_rules, fault_seed):
+    global _WORKER_RUNNER
+    from repro.faults import arm, disarm
+    from repro.faults.plan import FaultPlan
+    from repro.platforms.shm import attach_artifacts
+
+    # Under fork the child inherits the parent's armed plan object;
+    # disarm it first so the re-armed copy owns all counters.
+    disarm()
+    if fault_rules is not None:
+        arm(FaultPlan(rules=fault_rules, seed=fault_seed))
+    runner = GridRunner(context, seed=seed, scale=scale)
+    for dataset, handle in handles.items():
+        runner._artifacts[dataset] = attach_artifacts(handle)
+    _WORKER_RUNNER = runner
+
+
+def _worker_run_cell(cell, retry, on_error):
+    outcome = _WORKER_RUNNER.run_cell(
+        *cell, probe_store=False, retry=retry, on_error=on_error
+    )
+    return cell, outcome
+
+
+def _close_segments(segments: dict) -> None:
+    """Unlink every published segment (runner GC / interpreter exit)."""
+    for segment in segments.values():
+        segment.close()
+    segments.clear()
 
 
 class GridRunner:
@@ -63,6 +169,8 @@ class GridRunner:
         store: optional persistent report store; ``None`` keeps results
             in memory only.
         jobs: default worker count for :meth:`run_grid`.
+        executor: default fan-out backend — ``"thread"``, ``"process"``
+            or ``"auto"`` (see the module docstring).
     """
 
     def __init__(
@@ -73,12 +181,18 @@ class GridRunner:
         scale: float = 1.0,
         store: ArtifactStore | None = None,
         jobs: int = 1,
+        executor: str = "thread",
     ) -> None:
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
         self.context = context or PlatformContext()
         self.seed = seed
         self.scale = scale
         self.store = store
         self.jobs = max(1, jobs)
+        self.executor = executor
         self.results: dict[GridKey, object] = {}
         self._graphs: dict[str, HeteroGraph] = {}
         self._artifacts: dict[str, DatasetArtifacts] = {}
@@ -87,6 +201,24 @@ class GridRunner:
         # Per-dataset build locks: concurrent cells that need the same
         # (not yet warmed) dataset build it once, not racily twice.
         self._build_locks: dict[str, threading.Lock] = {}
+        # Published shared-memory segments (process backend), one per
+        # dataset, reused across run_grid calls. The finalizer unlinks
+        # them when the runner dies — including interpreter exit and
+        # KeyboardInterrupt (weakref.finalize registers with atexit).
+        self._segments: dict[str, object] = {}
+        self._handles: dict[str, object] = {}
+        self._segments_finalizer = weakref.finalize(
+            self, _close_segments, self._segments
+        )
+
+    def close(self) -> None:
+        """Release published shared-memory segments (idempotent).
+
+        The exit-time finalizer stays armed, so a runner that publishes
+        again after ``close()`` is still leak-safe.
+        """
+        self._handles.clear()
+        _close_segments(self._segments)
 
     # ------------------------------------------------------------------
     # Shared state (graphs, artifacts, platforms)
@@ -185,6 +317,29 @@ class GridRunner:
                 dataset
             ]
         return failures
+
+    def publish_dataset(self, dataset: str):
+        """Shared-memory handle of one warmed dataset (published once).
+
+        The segment is owned by this runner and reused across fan-outs;
+        :meth:`close` (or runner GC / interpreter exit) unlinks it.
+        """
+        handle = self._handles.get(dataset)
+        if handle is not None:
+            return handle
+        from repro.platforms.shm import publish_artifacts
+        from repro.scenarios import workload_digest
+
+        artifacts = self.artifacts(dataset)
+        with self._build_lock(dataset):
+            if dataset not in self._handles:
+                segment, handle = publish_artifacts(
+                    artifacts,
+                    digest=workload_digest(dataset, self.seed, self.scale),
+                )
+                self._segments[dataset] = segment
+                self._handles[dataset] = handle
+        return self._handles[dataset]
 
     def _store_key(self, platform: Platform, model: str, dataset: str) -> str:
         # The workload digest covers the *resolved* generation recipe
@@ -290,6 +445,148 @@ class GridRunner:
         with self._lock:
             return self.results.setdefault(key, report)
 
+    def run_cells(
+        self,
+        cells: list[GridKey],
+        *,
+        jobs: int | None = None,
+        executor: str | None = None,
+        retry: RetryPolicy | None = None,
+        on_error: str = "raise",
+    ):
+        """Yield ``(cell, outcome)`` for every cell, in completion order.
+
+        The one fan-out primitive behind :meth:`run_grid` and
+        ``Session.run_iter``: serial, thread-pool and process-pool
+        execution share its contract — every cell yields exactly once
+        with a report or (``on_error="collect"``) a
+        :class:`CellFailure`; reports are memoized and store-saved in
+        the parent process regardless of backend, so store bytes and
+        memo contents are identical to a serial run.
+
+        Callers must have warmed the artifacts of every cell's dataset
+        (:meth:`warm_artifacts`); in collect mode, cells whose dataset
+        failed to warm run in the parent where :meth:`run_cell` turns
+        the build error into a typed failure.
+
+        Abandoning the iterator early cancels cells not yet started
+        and waits only for the ones in flight.
+        """
+        if on_error not in _ON_ERROR:
+            raise ValueError(
+                f"on_error must be one of {_ON_ERROR}, got {on_error!r}"
+            )
+        jobs = self.jobs if jobs is None else max(1, jobs)
+        mode = resolve_executor(
+            self.executor if executor is None else executor, jobs
+        )
+        if jobs <= 1 or len(cells) <= 1:
+            mode = "serial"
+
+        if mode == "process":
+            yield from self._run_cells_process(
+                cells, jobs=jobs, retry=retry, on_error=on_error
+            )
+            return
+        if mode == "thread":
+            pool = ThreadPoolExecutor(max_workers=jobs)
+            try:
+                futures = {
+                    pool.submit(
+                        self.run_cell,
+                        *cell,
+                        probe_store=False,
+                        retry=retry,
+                        on_error=on_error,
+                    ): cell
+                    for cell in cells
+                }
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield futures[future], future.result()
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+            return
+        for cell in cells:
+            yield cell, self.run_cell(
+                *cell, probe_store=False, retry=retry, on_error=on_error
+            )
+
+    def _run_cells_process(
+        self,
+        cells: list[GridKey],
+        *,
+        jobs: int,
+        retry: RetryPolicy | None,
+        on_error: str,
+    ):
+        """Process-pool fan-out over published shared-memory artifacts."""
+        from repro.faults import active_plan
+
+        # Datasets that failed to warm (collect mode) cannot be
+        # published; their cells run in the parent, where run_cell
+        # reproduces the thread backend's typed build failures.
+        publishable = [
+            d
+            for d in dict.fromkeys(dataset for _, _, dataset in cells)
+            if d in self._artifacts
+        ]
+        handles = {d: self.publish_dataset(d) for d in publishable}
+        local = [c for c in cells if c[2] not in handles]
+        remote = [c for c in cells if c[2] in handles]
+        for cell in local:
+            yield cell, self.run_cell(
+                *cell, probe_store=False, retry=retry, on_error=on_error
+            )
+        if not remote:
+            return
+
+        plan = active_plan()
+        fault_rules = plan.rules if plan is not None else None
+        fault_seed = plan.seed if plan is not None else 0
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(remote)),
+            mp_context=_mp_context(),
+            initializer=_worker_init,
+            initargs=(
+                self.context,
+                self.seed,
+                self.scale,
+                handles,
+                fault_rules,
+                fault_seed,
+            ),
+        )
+        try:
+            futures = {
+                pool.submit(_worker_run_cell, cell, retry, on_error): cell
+                for cell in remote
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    cell, outcome = future.result()
+                    if not isinstance(outcome, CellFailure):
+                        # Memoization and the store write happen here,
+                        # in the parent — exactly where the serial and
+                        # thread paths do them — so the persisted
+                        # bytes cannot depend on the backend.
+                        if self.store is not None:
+                            self._save_best_effort(
+                                self.platform(cell[0]),
+                                cell[1],
+                                cell[2],
+                                outcome,
+                            )
+                        with self._lock:
+                            outcome = self.results.setdefault(cell, outcome)
+                    yield cell, outcome
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
     def run_grid(
         self,
         platforms: tuple[str, ...],
@@ -297,6 +594,7 @@ class GridRunner:
         datasets: tuple[str, ...],
         *,
         jobs: int | None = None,
+        executor: str | None = None,
         on_error: str = "raise",
         retry: RetryPolicy | None = None,
     ) -> dict[GridKey, object]:
@@ -306,8 +604,8 @@ class GridRunner:
         report without generating a single graph). For the remaining
         cells the per-dataset artifacts are built before any cell runs
         (they are the shared state; with ``jobs > 1`` distinct
-        datasets warm concurrently), then the cells fan out over a
-        thread pool.
+        datasets warm concurrently), then the cells fan out through
+        :meth:`run_cells` on the thread or process backend.
 
         With ``on_error="raise"`` (default) the first cell failure
         aborts the run. With ``on_error="collect"`` every cell runs to
@@ -315,7 +613,7 @@ class GridRunner:
         *or* a :class:`CellFailure` per cell — one bad cell costs
         exactly one entry, never the fan-out. Results are keyed by
         ``(platform, model, dataset)`` and independent of completion
-        order.
+        order and backend.
         """
         if on_error not in _ON_ERROR:
             raise ValueError(
@@ -346,22 +644,15 @@ class GridRunner:
             self.warm_artifacts(
                 [d for _, _, d in pending], jobs=jobs, errors=on_error
             )
-
-            def run(cell: GridKey):
-                outcome = self.run_cell(
-                    *cell, probe_store=False, retry=retry, on_error=on_error
-                )
+            for cell, outcome in self.run_cells(
+                pending,
+                jobs=jobs,
+                executor=executor,
+                retry=retry,
+                on_error=on_error,
+            ):
                 if isinstance(outcome, CellFailure):
                     failures[cell] = outcome
-
-            if jobs > 1 and len(pending) > 1:
-                # The cells fan out only once every dataset is built
-                # and read-only (warm_artifacts above).
-                with ThreadPoolExecutor(max_workers=jobs) as pool:
-                    list(pool.map(run, pending))
-            else:
-                for cell in pending:
-                    run(cell)
         return {
             c: self.results[c] if c in self.results else failures[c]
             for c in cells

@@ -165,92 +165,139 @@ def _community_schedule_naive(sub: SemanticGraph, budget: int = 256) -> np.ndarr
     return np.array(order, dtype=np.int64)
 
 
-#: Destinations whose source row is longer than this absorb it in one
-#: vectorized pass; thin rows run the naive per-edge loop, where numpy
-#: call overhead would dominate.
-_SMALL_LEVEL = 32
+#: A pop whose source row is at least this long routes the walk to the
+#: batched pass (one fat row already amortizes its numpy overhead).
+_FAT_ROW = 96
+
+#: A queue at least this long routes the walk to the batched pass (the
+#: whole queue becomes one batch, so the stream is at least this big).
+_BATCH_MIN = 32
 
 
 def _capped_traverse(
     seed: int,
     csr,
     csc,
-    fat_src: list[bool],
-    fat_dst: list[bool],
     visited_src: np.ndarray,
     visited_dst: np.ndarray,
     budget: int,
-    order: list[int],
+    order_parts: list[np.ndarray],
 ) -> None:
     """One seed's budget-capped community walk, exact naive semantics.
 
-    The walk pops one destination at a time like the naive code,
-    appending pops to ``order`` and vectorizing exactly the parts that
-    batch: a pop with a fat source row absorbs it in one pass (the
-    batched append sequence -- source-major, then row order, first
-    occurrence wins -- is exactly the nested loop's), a fat source's
-    destination row enqueues in one pass, and once the budget is
-    reached every queued destination just drains, so the remaining
-    queue is emitted wholesale.
+    The walk interleaves two phases over the naive FIFO queue.  Small
+    communities run the scalar per-pop loop verbatim; the moment a pop
+    fronts a fat source row or the queue itself grows long, the whole
+    remaining queue is handed to a batched phase that processes it one
+    *generation* per numpy pass (a generation = the queue's contents at
+    a point in time; FIFO order means every generation pops contiguously
+    and in enqueue order, so any such batch is a contiguous run of naive
+    pops -- true breadth-first levels are just the special case).
+
+    Per generation the batched phase:
+
+    1. Emits the generation (each queued destination pops in order,
+       whether or not it still expands).
+    2. Ends the walk if the budget was already spent -- no pop
+       enqueues, so draining the generation empties the queue.
+    3. Concatenates the generation's source rows in pop order and keeps
+       the first occurrence of each unvisited source -- exactly the
+       scalar loop's visited check, where the earliest pop wins a
+       shared source.
+    4. Cuts expansion at the budget: a pop expands iff the sources
+       absorbed before it are under budget, and per-pop counts are
+       non-negative, so the expanding pops are a prefix of the
+       generation (exclusive cumulative-sum cut); the crossing pop
+       still absorbs its whole row, like the scalar loop, whose budget
+       check sits before the row walk.
+    5. Forms the next generation from the absorbed sources' destination
+       rows, concatenated in absorption order with first-occurrence
+       dedup against visited destinations (the scalar loop enqueues
+       exactly that stream).  A small next generation goes back on the
+       queue for the scalar phase instead.
     """
     csr_indptr, csr_indices = csr.indptr, csr.indices
     csc_indptr, csc_indices = csc.indptr, csc.indices
     visited_dst[seed] = True
     queue: deque[int] = deque([seed])
+    scalar_order: list[int] = []
     absorbed = 0
     while queue:
-        if absorbed >= budget:
-            order.extend(queue)
-            break
-        v = queue.popleft()
-        order.append(v)
-        if fat_dst[v]:
-            row = csc_indices[csc_indptr[v] : csc_indptr[v + 1]]
-            # First-occurrence dedup keeps parallel edges from double-
-            # absorbing a source (row order preserved, as the scalar
-            # loop's visited check would).
-            uniq, first = np.unique(row, return_index=True)
-            new_src = row[np.sort(first[~visited_src[uniq]])]
-            if new_src.size:
-                visited_src[new_src] = True
-                absorbed += int(new_src.size)
-                dst_stream = gather_rows(csr, new_src)
-                fresh = np.zeros(dst_stream.size, dtype=bool)
-                if dst_stream.size:
-                    uniq, first = np.unique(dst_stream, return_index=True)
-                    fresh[first[~visited_dst[uniq]]] = True
-                nxt = dst_stream[fresh]
-                visited_dst[nxt] = True
-                queue.extend(nxt.tolist())
-        else:
-            for s in csc_indices[csc_indptr[v] : csc_indptr[v + 1]].tolist():
+        # Scalar phase: the naive loop, plus a hand-off check per pop.
+        while queue:
+            if absorbed >= budget:
+                scalar_order.extend(queue)
+                queue.clear()
+                break
+            v = queue[0]
+            beg = csc_indptr[v]
+            end = csc_indptr[v + 1]
+            if end - beg >= _FAT_ROW or len(queue) >= _BATCH_MIN:
+                break  # batch the whole remaining queue
+            queue.popleft()
+            scalar_order.append(v)
+            for s in csc_indices[beg:end].tolist():
                 if visited_src[s]:
                     continue
                 visited_src[s] = True
                 absorbed += 1
-                if fat_src[s]:
-                    row = csr_indices[csr_indptr[s] : csr_indptr[s + 1]]
-                    uniq, first = np.unique(row, return_index=True)
-                    nxt = row[np.sort(first[~visited_dst[uniq]])]
-                    visited_dst[nxt] = True
-                    queue.extend(nxt.tolist())
-                    continue
                 for w in csr_indices[
                     csr_indptr[s] : csr_indptr[s + 1]
                 ].tolist():
                     if not visited_dst[w]:
                         visited_dst[w] = True
                         queue.append(w)
+        if not queue:
+            break
+        if scalar_order:
+            order_parts.append(np.array(scalar_order, dtype=np.int64))
+            scalar_order = []
+        level = np.fromiter(queue, dtype=np.int64, count=len(queue))
+        queue.clear()
+        # Batched phase: one numpy pass per generation.
+        while level.size:
+            order_parts.append(level)
+            if absorbed >= budget:
+                break  # the generation just drained; nothing enqueued
+            src_stream = gather_rows(csc, level)
+            uniq, first = np.unique(src_stream, return_index=True)
+            keep = np.sort(first[~visited_src[uniq]])
+            if not keep.size:
+                break  # no new sources, so no next generation
+            lens = csc_indptr[level + 1] - csc_indptr[level]
+            owner = np.repeat(np.arange(level.size, dtype=np.int64), lens)
+            new_counts = np.bincount(owner[keep], minlength=level.size)
+            before = absorbed + np.concatenate(([0], np.cumsum(new_counts)[:-1]))
+            expanding = int(np.searchsorted(before, budget, side="left"))
+            if expanding < level.size:
+                keep = keep[owner[keep] < expanding]
+            new_src = src_stream[keep]
+            visited_src[new_src] = True
+            absorbed += int(new_src.size)
+            dst_stream = gather_rows(csr, new_src)
+            if not dst_stream.size:
+                break
+            uniq, first = np.unique(dst_stream, return_index=True)
+            nxt = dst_stream[np.sort(first[~visited_dst[uniq]])]
+            if not nxt.size:
+                break
+            visited_dst[nxt] = True
+            if nxt.size < _BATCH_MIN:
+                queue.extend(nxt.tolist())
+                break  # hand the small generation back to the scalar phase
+            level = nxt
+    if scalar_order:
+        order_parts.append(np.array(scalar_order, dtype=np.int64))
 
 
 def _community_schedule_vec(sub: SemanticGraph, budget: int = 256) -> np.ndarray:
     """Vectorized :func:`_community_schedule_naive`; identical output.
 
     Same seed-ordered sequence of breadth-first community walks; each
-    walk runs through :func:`_capped_traverse`, which batches exactly
-    the parts of the traversal that vectorize -- fat adjacency rows and
-    the post-budget drain of the whole remaining queue -- and keeps the
-    naive per-pop loop (with its per-pop budget check) everywhere else.
+    walk runs through :func:`_capped_traverse`, which batches one
+    whole breadth-first level per numpy pass and cuts the expansion
+    budget with an exclusive cumulative sum over per-pop source
+    counts, so no per-edge Python loop survives on this path.
     """
     if budget <= 0:
         raise ValueError("budget must be positive")
@@ -260,29 +307,17 @@ def _community_schedule_vec(sub: SemanticGraph, budget: int = 256) -> np.ndarray
     csr, csc = sub.csr, sub.csc
     dst_deg = sub.dst_degrees()
     seeds = active[np.argsort(-dst_deg[active], kind="stable")]
-    # Plain lists: indexed once per pop / absorbed source on the scalar
-    # path, where a numpy bool lookup would cost more than it saves.
-    fat_dst = (dst_deg > _SMALL_LEVEL).tolist()
-    fat_src = (sub.src_degrees() > _SMALL_LEVEL).tolist()
 
     visited_dst = np.zeros(sub.num_dst, dtype=bool)
     visited_src = np.zeros(sub.num_src, dtype=bool)
-    order: list[int] = []
+    order_parts: list[np.ndarray] = []
     for seed in seeds.tolist():
         if visited_dst[seed]:
             continue
         _capped_traverse(
-            seed,
-            csr,
-            csc,
-            fat_src,
-            fat_dst,
-            visited_src,
-            visited_dst,
-            budget,
-            order,
+            seed, csr, csc, visited_src, visited_dst, budget, order_parts
         )
-    return np.array(order, dtype=np.int64)
+    return np.concatenate(order_parts).astype(np.int64, copy=False)
 
 
 def _community_schedule(

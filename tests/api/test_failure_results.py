@@ -161,7 +161,8 @@ class TestStoreStats:
         assert stats["misses"] == len(cold)
         assert stats["quarantined"] == 0
         assert set(stats) == {
-            "hits", "misses", "puts", "quarantined", "evicted", "read_errors"
+            "hits", "misses", "puts", "quarantined", "evicted",
+            "read_errors", "index_retries",
         }
         warm = Session(spec, store=ArtifactStore(tmp_path))
         warm.run()

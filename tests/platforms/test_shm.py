@@ -1,0 +1,189 @@
+"""Shared-memory artifact segments: round trips, integrity, lifecycle.
+
+The zero-copy layer's contract: a published segment round-trips every
+array bit-exactly through a picklable handle; attached views are
+read-only and borrow the mapping (no copies); the header binds the
+layout *and* the publisher's content digest, so a stale or forged
+handle fails loudly; and closing the owner always unlinks, on every
+backend. The autouse ``no_leaked_segments`` fixture enforces the
+unlink half on every test in this package.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models.base import ModelConfig
+from repro.platforms import GridRunner, PlatformContext
+from repro.platforms.shm import (
+    ENV_SHM_BACKEND,
+    ArtifactSegment,
+    SegmentIntegrityError,
+    attach_artifacts,
+    publish_artifacts,
+)
+
+SMALL_MODEL = ModelConfig(hidden_dim=32, num_heads=4, embed_dim=8)
+
+
+def sample_arrays() -> dict[str, np.ndarray]:
+    return {
+        "indptr": np.arange(7, dtype=np.int64),
+        "values": np.linspace(0.0, 1.0, 13, dtype=np.float64),
+        "matrix": np.arange(12, dtype=np.int32).reshape(3, 4),
+        "empty": np.empty(0, dtype=np.int64),
+        "flags": np.array([True, False, True]),
+    }
+
+
+def make_runner(**kwargs):
+    context = PlatformContext(model_config=SMALL_MODEL)
+    kwargs.setdefault("seed", 3)
+    kwargs.setdefault("scale", 0.08)
+    return GridRunner(context, **kwargs)
+
+
+class TestArtifactSegment:
+    @pytest.mark.parametrize("backend", [None, "mmap"])
+    def test_round_trip(self, backend):
+        arrays = sample_arrays()
+        with ArtifactSegment.create(
+            arrays, digest="d1", backend=backend
+        ) as segment:
+            attached = segment.handle.attach()
+            for name, original in arrays.items():
+                view = attached.array(name)
+                assert np.array_equal(view, original), name
+                assert view.dtype == original.dtype
+                assert view.shape == original.shape
+                assert not view.flags.writeable
+            assert attached.arrays().keys() == arrays.keys()
+            attached.close()
+
+    def test_views_are_zero_copy(self):
+        arrays = {"a": np.arange(1024, dtype=np.int64)}
+        with ArtifactSegment.create(arrays) as segment:
+            attached = segment.handle.attach()
+            first = attached.array("a")
+            second = attached.array("a")
+            # Both views map the same shared buffer, not copies of it.
+            assert first.__array_interface__["data"][0] == (
+                second.__array_interface__["data"][0]
+            )
+            del first, second
+            attached.close()
+
+    def test_env_var_selects_mmap(self, monkeypatch):
+        monkeypatch.setenv(ENV_SHM_BACKEND, "mmap")
+        segment = ArtifactSegment.create({"a": np.arange(4)})
+        try:
+            assert segment.backend == "mmap"
+            assert Path(segment.name).exists()
+        finally:
+            segment.close()
+        assert not Path(segment.name).exists()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown shm backend"):
+            ArtifactSegment.create({"a": np.arange(4)}, backend="carrier")
+
+    def test_close_is_idempotent_and_unlinks(self):
+        segment = ArtifactSegment.create({"a": np.arange(8)})
+        assert not segment.closed
+        segment.close()
+        segment.close()
+        assert segment.closed
+        with pytest.raises(FileNotFoundError):
+            segment.handle.attach()
+
+    @pytest.mark.parametrize("backend", [None, "mmap"])
+    def test_stale_handle_fails(self, backend):
+        segment = ArtifactSegment.create(
+            {"a": np.arange(8)}, backend=backend
+        )
+        handle = segment.handle
+        segment.close()
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+
+    def test_digest_mismatch_detected(self):
+        with ArtifactSegment.create(
+            {"a": np.arange(8)}, digest="published"
+        ) as segment:
+            forged = dataclasses.replace(segment.handle, digest="forged")
+            with pytest.raises(SegmentIntegrityError):
+                forged.attach()
+
+    def test_layout_mismatch_detected(self):
+        with ArtifactSegment.create({"a": np.arange(8)}) as segment:
+            spec = segment.handle.arrays[0]
+            forged = dataclasses.replace(
+                segment.handle,
+                arrays=(dataclasses.replace(spec, dtype="<f8"),),
+            )
+            with pytest.raises(SegmentIntegrityError):
+                forged.attach()
+
+    def test_unknown_array_name(self):
+        with ArtifactSegment.create({"a": np.arange(8)}) as segment:
+            attached = segment.handle.attach()
+            with pytest.raises(KeyError):
+                attached.array("missing")
+            attached.close()
+
+    def test_handle_is_picklable(self):
+        import pickle
+
+        with ArtifactSegment.create(sample_arrays(), digest="d") as segment:
+            handle = pickle.loads(pickle.dumps(segment.handle))
+            attached = handle.attach()
+            assert np.array_equal(
+                attached.array("indptr"), sample_arrays()["indptr"]
+            )
+            attached.close()
+
+
+class TestPublishArtifacts:
+    def test_attached_artifacts_match_original(self):
+        runner = make_runner()
+        original = runner.artifacts("acm")
+        segment, handle = publish_artifacts(original, digest="acm@3")
+        try:
+            assert handle.digest == "acm@3"
+            attached = attach_artifacts(handle)
+            assert attached.graph.name == original.graph.name
+            assert len(attached.semantic_graphs) == len(
+                original.semantic_graphs
+            )
+            for mine, theirs in zip(
+                attached.semantic_graphs, original.semantic_graphs
+            ):
+                assert mine.relation == theirs.relation
+                assert np.array_equal(mine.src, theirs.src)
+                assert np.array_equal(mine.dst, theirs.dst)
+                assert np.array_equal(
+                    mine.csr.indptr, theirs.csr.indptr
+                )
+                assert np.array_equal(
+                    mine.csr.indices, theirs.csr.indices
+                )
+        finally:
+            segment.close()
+            runner.close()
+
+    def test_simulation_identical_on_attached_artifacts(self):
+        warm = make_runner()
+        baseline = warm.run_cell("t4", "rgcn", "acm")
+        segment, handle = publish_artifacts(warm.artifacts("acm"))
+
+        worker = make_runner()
+        worker._artifacts["acm"] = attach_artifacts(handle)
+        report = worker.run_cell("t4", "rgcn", "acm")
+        assert dataclasses.asdict(report) == dataclasses.asdict(baseline)
+        warm.close()
+        worker.close()
+        segment.close()

@@ -1,0 +1,150 @@
+"""Store index: CAS read-modify-write semantics under contention.
+
+The index is a versioned advisory catalog of committed entries. Its
+contract: every mutation commits exactly once (a lost CAS race retries
+with a fresh snapshot, never dropping the update), the file content is
+a pure function of the entry set (so stores built by different
+backends or process counts are byte-identical), corruption degrades to
+"empty, rebuildable" rather than an error, and ``verify`` reconciles
+the index against the entry files — the source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sys
+
+import pytest
+
+from repro.platforms import ArtifactStore
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="POSIX store semantics"
+)
+
+
+def make_store(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", False)
+    return ArtifactStore(tmp_path / "store", **kwargs)
+
+
+class TestIndexBasics:
+    def test_save_indexes_entry(self, tmp_path):
+        store = make_store(tmp_path)
+        key = store.key_for("t4", "rgcn", "acm", "x")
+        store.save(key, {"v": 1}, schema="schema-a")
+        assert store.index() == {key: {"schema": repr("schema-a")}}
+        assert store.disk_stats()["indexed"] == 1
+
+    def test_delete_drops_entry(self, tmp_path):
+        store = make_store(tmp_path)
+        key = store.key_for("t4", "rgcn", "acm", "x")
+        store.save(key, {"v": 1})
+        assert store.delete(key)
+        assert store.index() == {}
+
+    def test_clear_empties_index(self, tmp_path):
+        store = make_store(tmp_path)
+        for i in range(3):
+            store.save(store.key_for("t4", "rgcn", "acm", str(i)), i)
+        assert len(store.index()) == 3
+        store.clear()
+        assert store.index() == {}
+
+    def test_version_counts_commits(self, tmp_path):
+        store = make_store(tmp_path)
+        for i in range(5):
+            store.save(store.key_for("t4", "rgcn", "acm", str(i)), i)
+        document = json.loads(store.index_path.read_text())
+        assert document["version"] == 5
+        assert len(document["entries"]) == 5
+
+    def test_index_content_is_order_independent(self, tmp_path):
+        keys = [f"k{i}" for i in range(4)]
+        store_a = make_store(tmp_path / "a")
+        for key in keys:
+            store_a.save(key, key)
+        store_b = make_store(tmp_path / "b")
+        for key in reversed(keys):
+            store_b.save(key, key)
+        entries_a = json.loads(store_a.index_path.read_text())["entries"]
+        entries_b = json.loads(store_b.index_path.read_text())["entries"]
+        assert entries_a == entries_b
+        assert list(entries_a) == sorted(keys)
+
+    def test_corrupt_index_reads_as_empty(self, tmp_path):
+        store = make_store(tmp_path)
+        store.save("k", 1)
+        store.index_path.write_text("{not json")
+        assert store.index() == {}
+        # The store still works; the next mutation rebuilds from empty.
+        store.save("k2", 2)
+        assert "k2" in store.index()
+
+    def test_foreign_document_reads_as_empty(self, tmp_path):
+        store = make_store(tmp_path)
+        store.index_path.write_text(json.dumps({"version": "x"}))
+        assert store.index() == {}
+
+    def test_verify_rebuilds_index_from_entries(self, tmp_path):
+        store = make_store(tmp_path)
+        keys = [store.key_for("t4", "rgcn", "acm", str(i)) for i in range(3)]
+        for key in keys:
+            store.save(key, {"k": key}, schema="s")
+        # Simulate an index lost to a crash between commit and catalog.
+        store.index_path.unlink()
+        assert store.index() == {}
+        report = store.verify()
+        assert report["ok"] == 3
+        assert sorted(store.index()) == sorted(keys)
+
+    def test_verify_drops_evicted_entries_from_index(self, tmp_path):
+        store = make_store(tmp_path)
+        key = store.key_for("t4", "rgcn", "acm", "x")
+        store.save(key, {"v": 1})
+        store._path(key).write_bytes(b"garbage" * 10)
+        store.verify()
+        assert key not in store.index()
+
+
+def _contending_writer(root: str, worker: int, count: int) -> None:
+    store = ArtifactStore(root, fsync=False)
+    for n in range(count):
+        store.save(f"w{worker}-k{n}", {"worker": worker, "n": n})
+
+
+class TestIndexContention:
+    def test_forked_writers_lose_no_updates(self, tmp_path):
+        """N processes saving distinct keys: every save must appear in
+        the index and the version must count every commit — a lost CAS
+        race that dropped an update would miss both."""
+        workers, per_worker = 4, 12
+        root = str(tmp_path / "store")
+        ArtifactStore(root, fsync=False)  # create the directory once
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(
+                target=_contending_writer, args=(root, w, per_worker)
+            )
+            for w in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+
+        store = ArtifactStore(root, fsync=False)
+        expected = {
+            f"w{w}-k{n}" for w in range(workers) for n in range(per_worker)
+        }
+        assert set(store.index()) == expected
+        document = json.loads(store.index_path.read_text())
+        assert document["version"] == workers * per_worker
+        for key in expected:
+            assert store.load(key) == {
+                "worker": int(key[1]),
+                "n": int(key.split("k")[1]),
+            }
+        assert store.verify()["ok"] == len(expected)

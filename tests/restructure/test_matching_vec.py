@@ -9,6 +9,7 @@ scenario stress families and recursive ``max_depth > 0`` runs.
 """
 
 import dataclasses
+import importlib
 
 import numpy as np
 import pytest
@@ -246,6 +247,43 @@ class TestBackboneAndScheduleDifferential:
             _community_schedule_naive(sg, budget),
             _community_schedule_vec(sg, budget),
         )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_src=st.integers(1, 30),
+        num_dst=st.integers(1, 30),
+        density=st.floats(0.0, 0.8),
+        budget=st.integers(1, 40),
+        seed=st.integers(0, 2**16),
+        fat_row=st.integers(1, 8),
+        batch_min=st.integers(2, 8),
+    )
+    def test_forced_batched_schedules_identical(
+        self, num_src, num_dst, density, budget, seed, fat_row, batch_min
+    ):
+        """Same property with tiny hand-off thresholds.
+
+        Default thresholds keep graphs this small on the scalar path, so
+        this variant forces every walk through the batched generations
+        (and the small-generation hand-back) to differential-test the
+        cumulative-sum budget cut itself.
+        """
+        # importlib: plain ``import repro.restructure.recouple`` resolves
+        # the attribute to the re-exported function, not the module.
+        rc_mod = importlib.import_module("repro.restructure.recouple")
+
+        rng = np.random.default_rng(seed)
+        num_edges = int(density * num_src * num_dst)
+        src = rng.integers(0, num_src, num_edges)
+        dst = rng.integers(0, num_dst, num_edges)
+        sg = SemanticGraph(Relation("a", "r", "b"), num_src, num_dst, src, dst)
+        saved = rc_mod._FAT_ROW, rc_mod._BATCH_MIN
+        rc_mod._FAT_ROW, rc_mod._BATCH_MIN = fat_row, batch_min
+        try:
+            vec = _community_schedule_vec(sg, budget)
+        finally:
+            rc_mod._FAT_ROW, rc_mod._BATCH_MIN = saved
+        assert np.array_equal(_community_schedule_naive(sg, budget), vec)
 
 
 class TestFrontendDifferential:

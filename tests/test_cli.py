@@ -17,17 +17,27 @@ class TestParser:
         assert args.scale == 0.3
         assert args.models == "rgcn"
         assert args.platforms is None
-        assert args.jobs == 1
+        assert args.jobs == "1"
+        assert args.executor == "thread"
         assert args.no_cache is False
 
     def test_evaluate_new_flags(self):
         args = build_parser().parse_args([
             "evaluate", "--platforms", "t4,hihgnn", "--jobs", "4",
-            "--no-cache",
+            "--executor", "process", "--no-cache",
         ])
         assert args.platforms == "t4,hihgnn"
-        assert args.jobs == 4
+        assert args.jobs == "4"
+        assert args.executor == "process"
         assert args.no_cache is True
+
+    def test_evaluate_jobs_auto(self):
+        args = build_parser().parse_args(["evaluate", "--jobs", "auto"])
+        assert args.jobs == "auto"
+
+    def test_evaluate_executor_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--executor", "fibers"])
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -86,6 +96,24 @@ class TestCommands:
         assert "hihgnn" in out
         assert "a100" not in out
         assert "hihgnn+gdr" not in out
+
+    def test_evaluate_process_executor_json_identical(self, capsys):
+        argv = [
+            "evaluate", "--scale", "0.05", "--models", "rgcn",
+            "--datasets", "acm", "--platforms", "t4,hihgnn",
+            "--no-cache", "--format", "json",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--executor", "process", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_evaluate_bad_jobs_value(self, capsys):
+        assert main([
+            "evaluate", "--scale", "0.05", "--datasets", "acm",
+            "--jobs", "many", "--no-cache",
+        ]) == 2
+        assert "--jobs" in capsys.readouterr().err
 
     def test_evaluate_store_warm_run(self, capsys, tmp_path):
         argv = [
