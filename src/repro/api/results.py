@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import TYPE_CHECKING, Any, ClassVar, Mapping
+from typing import TYPE_CHECKING, Any, ClassVar, Iterator, Mapping
 
 from repro.platforms.failures import CellFailure
 
@@ -91,12 +91,12 @@ def _require_schema(payload: Any, kind: str) -> dict:
     return payload
 
 
-def _opt_float(value) -> float | None:
-    return None if value is None else float(value)
+def _opt_float(value: object) -> float | None:
+    return None if value is None else float(value)  # type: ignore[arg-type]
 
 
-def _opt_int(value) -> int | None:
-    return None if value is None else int(value)
+def _opt_int(value: object) -> int | None:
+    return None if value is None else int(value)  # type: ignore[call-overload]
 
 
 # ----------------------------------------------------------------------
@@ -170,7 +170,7 @@ class CellResult:
         return baseline.time_ms / self.time_ms
 
     @classmethod
-    def from_report(cls, report) -> "CellResult":
+    def from_report(cls, report: Any) -> "CellResult":
         """Normalize a raw simulator report (either platform kind).
 
         Values are coerced to built-in ``int``/``float`` so numpy
@@ -359,12 +359,12 @@ class MetricReport:
         """The GEOMEAN bar of one platform."""
         return self.geomean_by_platform[platform]
 
-    def __getitem__(self, key: str):
+    def __getitem__(self, key: str) -> dict[str, dict[str, float]]:
         if key == "GEOMEAN":
             return {"all": dict(self.geomean_by_platform)}
         return self.values[key]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         yield from self.values
         yield "GEOMEAN"
 
@@ -484,7 +484,7 @@ class GridResult:
     def __len__(self) -> int:
         return len(self.cells)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[CellResult]:
         return iter(self.cells)
 
     def cell(self, platform: str, model: str, dataset: str) -> CellResult:
@@ -538,7 +538,9 @@ class GridResult:
 
     # -- derived figure reports ----------------------------------------
 
-    def _report(self, cls: type[MetricReport], baseline: str | None):
+    def _report(
+        self, cls: type[MetricReport], baseline: str | None
+    ) -> MetricReport:
         if baseline is not None and baseline not in {
             c.platform for c in self.cells
         }:
@@ -634,7 +636,7 @@ class ThrashingReport:
     @classmethod
     def from_profile(
         cls,
-        profile,
+        profile: Any,
         *,
         platform: str = "hihgnn",
         restructured: bool = False,
@@ -704,7 +706,7 @@ class DatasetStatRow:
     spec_vertices: int | None = None
     relations: int | None = None
 
-    def __getitem__(self, key: str):
+    def __getitem__(self, key: str) -> Any:
         # Dict-style access for pre-API callers of table2() rows.
         return getattr(self, key)
 
@@ -729,7 +731,7 @@ class DatasetStatsReport:
     def __len__(self) -> int:
         return len(self.rows)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[DatasetStatRow]:
         return iter(self.rows)
 
     def __getitem__(self, index: int) -> DatasetStatRow:
@@ -824,7 +826,9 @@ class AreaReport:
     shares: dict[str, float]
 
     @classmethod
-    def from_breakdown(cls, accelerator=None, frontend=None) -> "AreaReport":
+    def from_breakdown(
+        cls, accelerator: Any = None, frontend: Any = None
+    ) -> "AreaReport":
         """Build from :mod:`repro.energy.breakdown` (default configs)."""
         from repro.energy.breakdown import area_breakdown, figure10_shares
 

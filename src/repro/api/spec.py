@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.accelerator.config import HiHGNNConfig
 from repro.api.results import SchemaMismatchError
@@ -42,7 +42,7 @@ DEFAULT_PLATFORMS = ("t4", "a100", "hihgnn", "hihgnn+gdr")
 GridKey = tuple[str, str, str]
 
 
-def _as_tuple(value) -> tuple[str, ...]:
+def _as_tuple(value: str | Iterable[str]) -> tuple[str, ...]:
     if isinstance(value, str):
         return (value,)
     return tuple(value)
@@ -139,7 +139,7 @@ class ExperimentSpec:
         """Number of distinct grid cells this spec describes."""
         return sum(1 for _ in self.cells())
 
-    def replace(self, **overrides) -> "ExperimentSpec":
+    def replace(self, **overrides: Any) -> "ExperimentSpec":
         """A copy with fields overridden (re-validated eagerly)."""
         return dataclasses.replace(self, **overrides)
 

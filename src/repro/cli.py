@@ -178,6 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     area = sub.add_parser("area", help="Fig. 10 area/power breakdown")
     _add_format(area)
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help="check repo-specific invariants (determinism, fault "
+             "sites, lifecycles, parity, picklability)",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -383,6 +392,9 @@ def _cmd_store(args) -> int:
         return 1 if report["quarantined"] else 0
     kwargs = {"purge_quarantine": args.purge_quarantine}
     if args.tmp_max_age is not None:
+        if args.tmp_max_age < 0:
+            print("error: --tmp-max-age must be >= 0", file=sys.stderr)
+            return 2
         kwargs["tmp_max_age_s"] = args.tmp_max_age
     report = store.gc(**kwargs)
     if args.format == "json":
@@ -485,7 +497,11 @@ def _cmd_thrash(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    graph = load_workload(args.dataset, seed=args.seed, scale=args.scale)
+    try:
+        graph = load_workload(args.dataset, seed=args.seed, scale=args.scale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     restructurer = (
         GraphRestructurer(validate=False) if args.gdr else None
     )
@@ -609,9 +625,16 @@ def _cmd_area(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "store": _cmd_store,
+    "lint": _cmd_lint,
     "scenarios": _cmd_scenarios,
     "platforms": _cmd_platforms,
     "thrash": _cmd_thrash,

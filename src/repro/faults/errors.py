@@ -23,7 +23,9 @@ class InjectedFault(RuntimeError):
     failure reports name exactly which operation was hit.
     """
 
-    def __init__(self, site: str, key: object = None, message: str | None = None):
+    def __init__(
+        self, site: str, key: object = None, message: str | None = None
+    ) -> None:
         self.site = site
         self.key = key
         if message is None:

@@ -29,6 +29,10 @@ site                      where
 ``store.save.bytes``      payload bytes before write (checksum catches it)
 ``workload.build``        :meth:`GridRunner.graph` / artifact construction
 ``platform.simulate``     :meth:`GridRunner.run_cell` simulation body
+``shm.publish``           :meth:`ArtifactSegment.create` before the segment
+                          is allocated (I/O error → publish fails)
+``shm.attach``            :class:`AttachedSegment` attach in the worker
+                          (I/O error → cell fails, isolation applies)
 ========================  ====================================================
 """
 
@@ -164,7 +168,9 @@ class FaultPlan:
             self._calls.clear()
             self._fired.clear()
 
-    def _select(self, site: str, key: object, *, actions: tuple[str, ...]):
+    def _select(
+        self, site: str, key: object, *, actions: tuple[str, ...]
+    ) -> "FaultRule | None":
         """The first rule that fires for this call, or None (locked)."""
         with self._lock:
             counter_key = (site, repr(key))
@@ -230,7 +236,7 @@ class FaultPlan:
         arm(self)
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         disarm(self)
 
 

@@ -1,0 +1,96 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the lint gate turn on *today* while the backlog is
+paid down incrementally: findings whose fingerprint appears in the
+baseline are suppressed (and counted), new findings fail the run.
+This repository's committed goal state is an **empty** baseline for
+``src/`` — the file exists so (a) the mechanism is exercised and
+(b) a future contributor who must temporarily grandfather a finding
+has a reviewed, versioned place to do it.
+
+Format (``lint-baseline.json``)::
+
+    {
+      "version": 1,
+      "findings": [
+        {"fingerprint": "…", "rule": "REP001", "path": "…",
+         "symbol": "…", "message": "…"}
+      ]
+    }
+
+Only the fingerprint is consulted for suppression; the other fields
+exist so reviewers can see *what* was grandfathered without chasing
+hashes. Fingerprints exclude line numbers, so unrelated edits above a
+baselined finding do not un-suppress it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "BaselineError"]
+
+_BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be read as a baseline."""
+
+
+def load_baseline(path: Path) -> set[str]:
+    """The fingerprint set of one baseline file.
+
+    A missing file is an empty baseline; a malformed file is an error
+    (a silently ignored baseline would un-suppress everything and fail
+    CI with hundreds of findings pointing away from the real cause).
+    """
+    try:
+        raw = json.loads(path.read_text())
+    except FileNotFoundError:
+        return set()
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if (
+        not isinstance(raw, dict)
+        or raw.get("version") != _BASELINE_VERSION
+        or not isinstance(raw.get("findings"), list)
+    ):
+        raise BaselineError(
+            f"baseline {path} is not a version-{_BASELINE_VERSION} "
+            "lint baseline"
+        )
+    fingerprints: set[str] = set()
+    for entry in raw["findings"]:
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("fingerprint"), str
+        ):
+            raise BaselineError(
+                f"baseline {path} has an entry without a fingerprint"
+            )
+        fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, deterministic)."""
+    entries = [
+        {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "message": finding.message,
+        }
+        for finding in sorted(findings)
+    ]
+    path.write_text(
+        json.dumps(
+            {"version": _BASELINE_VERSION, "findings": entries},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )

@@ -1,0 +1,145 @@
+"""REP001 — no hidden nondeterminism in library code.
+
+The reproduction's core contract is bit-identical reruns: every grid
+cell derives its RNG from an explicit seed parameter
+(``spawn_seed``-style flows through :mod:`repro.api` and the runner),
+so results are a pure function of the spec. Any ambient entropy source
+— the global :mod:`random` state, an unseeded numpy generator, wall
+clock time, OS randomness — silently breaks that contract in ways the
+parity suite cannot catch (both runs of a differential test would share
+the same accidental entropy).
+
+Flagged:
+
+* ``numpy.random.default_rng()`` / ``SeedSequence()`` / ``Random()``
+  etc. called with **no arguments** (seeded calls are fine);
+* the legacy numpy global namespace (``np.random.rand`` and friends)
+  which mutates hidden global state even when "seeded";
+* module-level functions of :mod:`random` (global Mersenne state);
+* ``time.time`` / ``time.time_ns``, ``os.urandom``, ``uuid.uuid1`` /
+  ``uuid.uuid4`` and everything in :mod:`secrets`.
+
+Monotonic clocks (``time.perf_counter``, ``time.monotonic``) are not
+flagged: timing a run is fine, keying behaviour on the wall clock is
+not. Deliberate uses (e.g. uniqueness tokens for shm segment names)
+carry a ``# repro: lint-ok[REP001]`` waiver with the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register_check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import ModuleContext, ProjectContext
+
+__all__ = ["DeterminismCheck"]
+
+#: Always nondeterministic, no argument can fix them.
+_BANNED_EXACT = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived UUID",
+    "uuid.uuid4": "random UUID",
+}
+
+#: Generator constructors that are fine *with* a seed argument.
+_SEEDABLE = {
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "random.Random",
+}
+
+#: ``numpy.random.X`` attributes that are constructors/types rather
+#: than draws from the hidden global RandomState.
+_NUMPY_RANDOM_OK_TAIL = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "RandomState",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _is_seeded(node: ast.Call) -> bool:
+    """True when the constructor call passes any seed material."""
+    return bool(node.args) or any(
+        kw.arg is None or kw.arg in ("seed", "x") for kw in node.keywords
+    )
+
+
+@register_check
+class DeterminismCheck(Checker):
+    rule = "REP001"
+    title = "seeds flow from explicit parameters; no ambient entropy"
+    hint = "thread an explicit seed/rng parameter instead"
+
+    def run(
+        self, module: "ModuleContext", project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        imported = module.imported_modules
+        for call in module.calls:
+            resolved = module.resolve_call(call)
+            if resolved is None:
+                continue
+            top = resolved.split(".", 1)[0]
+            # Only apply module-prefixed rules when the file actually
+            # imports that module — a local variable named ``random``
+            # must not trip the global-state rule.
+            if top in ("time", "os", "uuid", "numpy", "random", "secrets"):
+                if top not in imported:
+                    continue
+            else:
+                continue
+            if resolved in _BANNED_EXACT:
+                yield self.finding(
+                    module,
+                    call,
+                    f"call to {resolved} ({_BANNED_EXACT[resolved]}) "
+                    "is nondeterministic",
+                )
+            elif resolved in _SEEDABLE:
+                if not _is_seeded(call):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{resolved}() without a seed draws from OS "
+                        "entropy",
+                        hint="pass the seed that the caller threads in",
+                    )
+            elif resolved.startswith("numpy.random."):
+                tail = resolved.split(".", 2)[2]
+                if "." not in tail and tail not in _NUMPY_RANDOM_OK_TAIL:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{resolved} uses numpy's hidden global "
+                        "RandomState",
+                        hint="use a Generator from "
+                        "numpy.random.default_rng(seed)",
+                    )
+            elif resolved.startswith("random.") and "." not in resolved[7:]:
+                yield self.finding(
+                    module,
+                    call,
+                    f"{resolved} mutates the global Mersenne state",
+                    hint="use random.Random(seed) or a numpy Generator",
+                )
+            elif resolved.startswith("secrets."):
+                yield self.finding(
+                    module,
+                    call,
+                    f"{resolved} is cryptographic entropy, never "
+                    "reproducible",
+                )

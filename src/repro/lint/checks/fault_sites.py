@@ -1,0 +1,139 @@
+"""REP002 — durable I/O in the platform layer goes through fault sites.
+
+The fault-injection layer (:mod:`repro.faults`) can only prove crash
+safety for I/O it can actually interpose on. Raw filesystem calls in
+the storage/shm/runner modules that bypass ``inject()`` are blind
+spots: the chaos suite will happily pass while a torn write in that
+path corrupts the store.
+
+The rule is scoped to the three files that own durable state —
+``platforms/store.py``, ``platforms/shm.py``, ``platforms/runner.py``
+— and fires on raw ``open``/``os.fdopen``/``os.replace``/``os.fsync``/
+``tempfile.mkstemp``/``mmap.mmap`` calls and ``Path`` read/write
+helpers whose **enclosing function** contains no ``inject()`` /
+``inject_bytes()`` call. A function that calls ``inject("store.save",
+...)`` before its raw writes is covered: the site gates the whole
+operation, and finer interposition points are a deliberate design
+choice, not an accident.
+
+``os.open`` is deliberately not listed: in this codebase it acquires
+lock fds, whose pairing with close/``LOCK_UN`` is REP003's job.
+
+I/O that is *intentionally* outside fault scope (reading our own
+source for the code-version hash, the scrub path that must work even
+when injection is armed) carries a ``# repro: lint-ok[REP002]`` waiver
+saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register_check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import ModuleContext, ProjectContext
+
+__all__ = ["FaultSiteCheck"]
+
+#: Files owning durable state (basename match under a platforms dir).
+_SCOPED_FILES = {"store.py", "shm.py", "runner.py"}
+
+#: Resolved dotted names of raw-I/O calls.
+_RAW_CALLS = {
+    "open",
+    "os.fdopen",
+    "os.replace",
+    "os.fsync",
+    "tempfile.mkstemp",
+    "mmap.mmap",
+}
+
+#: Method names whose receiver is (by idiom) a Path or file object.
+_RAW_METHODS = {
+    "read_bytes",
+    "read_text",
+    "write_bytes",
+    "write_text",
+    "open",
+}
+
+#: Call names that mark a function as fault-site covered.
+_INJECT_QUALS = {
+    "repro.faults.inject",
+    "repro.faults.inject_bytes",
+    "repro.faults.plan.inject",
+    "repro.faults.plan.inject_bytes",
+}
+
+
+def _in_scope(module: "ModuleContext") -> bool:
+    parts = module.path.parts
+    return module.path.name in _SCOPED_FILES and "platforms" in parts
+
+
+def _is_raw_io(module: "ModuleContext", call: ast.Call) -> bool:
+    resolved = module.resolve_call(call)
+    if resolved in _RAW_CALLS:
+        return True
+    # Method-style I/O: ``path.read_bytes()``. Resolution keeps the
+    # receiver name, so match on the final attribute — but never count
+    # a plain ``os.open`` (lock-fd acquisition, REP003 territory).
+    if isinstance(call.func, ast.Attribute) and call.func.attr in _RAW_METHODS:
+        return resolved is None or not resolved.startswith("os.")
+    return False
+
+
+def _has_inject(module: "ModuleContext", func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = module.resolve_call(node)
+        if resolved in _INJECT_QUALS:
+            return True
+    return False
+
+
+@register_check
+class FaultSiteCheck(Checker):
+    rule = "REP002"
+    title = "durable I/O in platform modules is fault-injectable"
+    hint = (
+        "route the operation through an inject()/inject_bytes() site "
+        "so the chaos suite can exercise it"
+    )
+
+    def run(
+        self, module: "ModuleContext", project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        if not _in_scope(module):
+            return
+        covered: dict[ast.AST, bool] = {}
+        for call in module.calls:
+            if not _is_raw_io(module, call):
+                continue
+            func = module.enclosing_function(call)
+            if func is None:
+                # Module-level I/O has no site to hide behind.
+                yield self.finding(
+                    module,
+                    call,
+                    "raw I/O at module level cannot be fault-injected",
+                )
+                continue
+            if func not in covered:
+                covered[func] = _has_inject(module, func)
+            if not covered[func]:
+                name = module.resolve_call(call) or (
+                    call.func.attr
+                    if isinstance(call.func, ast.Attribute)
+                    else "I/O call"
+                )
+                yield self.finding(
+                    module,
+                    call,
+                    f"raw {name} in {func.name}() bypasses the fault-"
+                    "injection layer",
+                )

@@ -1,0 +1,233 @@
+"""REP003 — acquired OS resources provably reach release on all paths.
+
+Leaked shared-memory segments survive the process (``/dev/shm`` fills
+until reboot), leaked lock fds deadlock the next writer, leaked
+temporary files defeat the store's crash-safety accounting. The repo's
+idioms for guaranteed release are:
+
+* a ``with`` statement (context manager owns the release);
+* ``try/finally`` where the release happens in the ``finally``;
+* ``weakref.finalize`` (the shm segments' last-resort cleanup);
+* handing the handle to an owner object (``self.attr = handle`` or
+  returning it) whose own lifecycle is separately checked.
+
+The checker recognises these shapes structurally: an acquisition call
+(``SharedMemory``, ``mmap.mmap``, ``os.open``, ``tempfile.*``,
+``*PoolExecutor``) is compliant when it is a ``with`` item, when its
+result is stored on an object or returned/yielded, or when the bound
+name is referenced inside a ``finally`` block, an exception handler or
+a ``weakref.finalize(...)`` call in the same function.
+
+``fcntl.flock(fd, LOCK_EX)`` gets a dedicated sub-rule: the matching
+``LOCK_UN`` must appear inside a ``finally`` in the same function —
+the store's shard/index lock helpers are the reference shape.
+
+This is a structural approximation, not an escape analysis; code that
+releases through a path the checker cannot see carries a
+``# repro: lint-ok[REP003]`` waiver naming that path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register_check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import ModuleContext, ProjectContext
+
+__all__ = ["LifecycleCheck"]
+
+#: Resolved call names that acquire an OS resource.
+_ACQUIRERS = {
+    "multiprocessing.shared_memory.SharedMemory",
+    "shared_memory.SharedMemory",
+    "SharedMemory",
+    "mmap.mmap",
+    "os.open",
+    "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryDirectory",
+    "tempfile.mkstemp",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+}
+
+_FINALIZE_QUALS = {"weakref.finalize", "finalize"}
+
+
+def _acquisition_name(module: "ModuleContext", call: ast.Call) -> str | None:
+    resolved = module.resolve_call(call)
+    if resolved in _ACQUIRERS:
+        return resolved
+    return None
+
+
+def _bound_names(module: "ModuleContext", call: ast.Call) -> tuple[
+    list[str], bool
+]:
+    """(plain names bound to the call result, escapes_structurally).
+
+    ``escapes_structurally`` is True for shapes whose release is
+    someone else's proven job: with-items, ``self.attr =`` targets,
+    return/yield subtrees.
+    """
+    names: list[str] = []
+    parent = module.parents.get(call)
+    # Unwrap trivial wrappers: ``fd, path = tempfile.mkstemp(...)``
+    # assigns a Tuple; ``x = SharedMemory(...)`` assigns the Call.
+    node: ast.AST = call
+    while isinstance(parent, (ast.Tuple, ast.Starred, ast.Await)):
+        node = parent
+        parent = module.parents.get(parent)
+    if isinstance(parent, ast.withitem):
+        return names, True
+    if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+        return names, True
+    if isinstance(parent, ast.Call) and node in parent.args:
+        # Passed straight into another call (e.g. ``cls(shm=...)`` or a
+        # wrapper) — ownership transferred to the callee.
+        return names, True
+    if isinstance(parent, ast.keyword):
+        return names, True
+    if isinstance(parent, ast.Assign):
+        for target in parent.targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Attribute):
+                    return names, True
+                if isinstance(sub, ast.Name):
+                    names.append(sub.id)
+    elif isinstance(parent, ast.AnnAssign) and parent.target is not None:
+        if isinstance(parent.target, ast.Attribute):
+            return names, True
+        if isinstance(parent.target, ast.Name):
+            names.append(parent.target.id)
+    return names, False
+
+
+def _released_in(
+    module: "ModuleContext", func: ast.AST, names: list[str]
+) -> bool:
+    """True when any bound name reaches a recognised release context."""
+    wanted = set(names)
+    if not wanted:
+        return False
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try) and node.finalbody:
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Name) and sub.id in wanted:
+                        return True
+        if isinstance(node, ast.ExceptHandler):
+            for stmt in node.body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Name) and sub.id in wanted:
+                        return True
+        if isinstance(node, ast.Call):
+            resolved = module.resolve_call(node)
+            if resolved in _FINALIZE_QUALS:
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name) and sub.id in wanted:
+                        return True
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and sub.id in wanted:
+                    return True
+    return False
+
+
+def _flock_mode(call: ast.Call) -> str | None:
+    """``"EX"``/``"SH"``/``"UN"`` for an ``fcntl.flock`` call."""
+    if len(call.args) < 2:
+        return None
+    names = {
+        sub.attr if isinstance(sub, ast.Attribute) else sub.id
+        for sub in ast.walk(call.args[1])
+        if isinstance(sub, (ast.Attribute, ast.Name))
+    }
+    if "LOCK_UN" in names:
+        return "UN"
+    if "LOCK_EX" in names:
+        return "EX"
+    if "LOCK_SH" in names:
+        return "SH"
+    return None
+
+
+def _in_finally(module: "ModuleContext", node: ast.AST) -> bool:
+    current = node
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.Try) and any(
+            current is stmt or current in ast.walk(stmt)
+            for stmt in ancestor.finalbody
+        ):
+            return True
+        current = ancestor
+    return False
+
+
+@register_check
+class LifecycleCheck(Checker):
+    rule = "REP003"
+    title = "OS resource acquisitions reach release on all paths"
+    hint = (
+        "use `with`, try/finally or weakref.finalize, or hand the "
+        "handle to an owner whose lifecycle is checked"
+    )
+
+    def run(
+        self, module: "ModuleContext", project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        flock_calls: list[tuple[ast.Call, str]] = []
+        for call in module.calls:
+            resolved = module.resolve_call(call)
+            if resolved in ("fcntl.flock", "flock"):
+                mode = _flock_mode(call)
+                if mode is not None:
+                    flock_calls.append((call, mode))
+                continue
+            acquired = _acquisition_name(module, call)
+            if acquired is None:
+                continue
+            names, escapes = _bound_names(module, call)
+            if escapes:
+                continue
+            func = module.enclosing_function(call)
+            if func is None:
+                yield self.finding(
+                    module,
+                    call,
+                    f"{acquired} acquired at module level is never "
+                    "released",
+                )
+                continue
+            if not _released_in(module, func, names):
+                yield self.finding(
+                    module,
+                    call,
+                    f"{acquired} in {func.name}() has a path that "
+                    "never releases it",
+                )
+
+        # flock pairing: every EX/SH lock needs an UN inside a finally
+        # in the same function.
+        unlocked_funcs = set()
+        for call, mode in flock_calls:
+            if mode == "UN" and _in_finally(module, call):
+                unlocked_funcs.add(module.enclosing_function(call))
+        for call, mode in flock_calls:
+            if mode == "UN":
+                continue
+            func = module.enclosing_function(call)
+            if func not in unlocked_funcs:
+                yield self.finding(
+                    module,
+                    call,
+                    f"flock(LOCK_{mode}) without a LOCK_UN in a "
+                    "finally block of the same function",
+                    hint="release the lock in a try/finally like the "
+                    "store's shard-lock helpers",
+                )

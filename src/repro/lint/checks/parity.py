@@ -1,0 +1,71 @@
+"""REP004 — every ``naive=`` implementation pair is differentially tested.
+
+The repo's correctness strategy for optimised kernels is differential:
+each optimised path keeps its straight-line ``naive=True`` twin, and a
+test asserts both produce identical results. A ``naive=`` parameter
+with no test referencing the function is an untested contract — the
+optimised path can silently diverge from the reference.
+
+The checker collects every function definition exposing a ``naive``
+parameter and asks the cheap cross-file question: *does the symbol
+appear anywhere under ``tests/``?* (identifier index from
+:mod:`repro.lint.refs` — name loads, attribute accesses and keyword
+arguments all count). For ``__init__`` the class name is the symbol,
+since tests exercise constructors through the class.
+
+This is deliberately a reference check, not a call-graph proof: a
+mention in tests is a necessary condition that is trivial to satisfy
+honestly and cheap to verify on every run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register_check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import ModuleContext, ProjectContext
+
+__all__ = ["ParityCheck"]
+
+
+def _has_naive_param(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = func.args
+    every = (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+    )
+    return any(arg.arg == "naive" for arg in every)
+
+
+@register_check
+class ParityCheck(Checker):
+    rule = "REP004"
+    title = "functions with a naive= parameter are referenced by tests"
+    hint = (
+        "add a differential test under tests/ comparing naive=True "
+        "against the optimised path"
+    )
+
+    def run(
+        self, module: "ModuleContext", project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        for func in module.functions:
+            if not _has_naive_param(func):
+                continue
+            if func.name == "__init__":
+                owner = module.enclosing_class(func)
+                symbol = owner.name if owner is not None else func.name
+            else:
+                symbol = func.name
+            if symbol not in project.test_identifiers:
+                yield self.finding(
+                    module,
+                    func,
+                    f"{symbol} exposes naive= but no test references "
+                    "it — the parity contract is unverified",
+                )

@@ -1,0 +1,225 @@
+"""REP005 — objects crossing the process-pool boundary must pickle.
+
+Everything handed to ``ProcessPoolExecutor`` — the ``initializer``,
+the callables passed to ``submit``/``map`` and all their arguments —
+is pickled into the worker. Lambdas, locally ``def``-ed closures,
+bound ``self.method`` references and values carrying locks or open
+file handles all fail, and they fail *late*: inside the pool, as an
+opaque ``BrokenProcessPool`` long after the bug was written. The
+runner's convention (module-level ``_worker_init`` /
+``_worker_run_cell`` entry points taking plain-data arguments) exists
+precisely to avoid this class of bug.
+
+Flagged, per process-pool variable:
+
+* ``submit(fn, ...)`` / ``map(fn, ...)`` where ``fn`` is a lambda, a
+  function defined inside the enclosing function, or a
+  ``self.method`` attribute (closes over the unpicklable owner);
+* ``initializer=`` with the same shapes;
+* arguments (positional, and elements of ``initargs=``) that are
+  lambdas, bare ``self``, or names locally bound to
+  ``threading.Lock/RLock/Condition/Event`` or ``open(...)`` handles.
+
+Only variables provably bound to a ``ProcessPoolExecutor`` are
+checked — thread pools share memory, so the same shapes are fine
+there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register_check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import ModuleContext, ProjectContext
+
+__all__ = ["PicklabilityCheck"]
+
+_POOL_QUALS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "ProcessPoolExecutor",
+}
+
+#: Local bindings of these calls are unpicklable values.
+_UNPICKLABLE_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Event",
+    "threading.Semaphore",
+    "open",
+    "os.fdopen",
+}
+
+
+def _pool_variables(module: "ModuleContext") -> set[tuple[ast.AST | None, str]]:
+    """(enclosing function, name) pairs bound to a ProcessPoolExecutor.
+
+    Scoped per function so a ``pool`` that names a thread pool in one
+    method and a process pool in another (the runner does exactly
+    this) is only checked where it really is a process pool.
+    """
+    pools: set[tuple[ast.AST | None, str]] = set()
+    for call in module.calls:
+        if module.resolve_call(call) not in _POOL_QUALS:
+            continue
+        scope = module.enclosing_function(call)
+        parent = module.parents.get(call)
+        if isinstance(parent, ast.withitem):
+            if isinstance(parent.optional_vars, ast.Name):
+                pools.add((scope, parent.optional_vars.id))
+        elif isinstance(parent, ast.Assign):
+            for target in parent.targets:
+                if isinstance(target, ast.Name):
+                    pools.add((scope, target.id))
+    return pools
+
+
+def _unpicklable_locals(module: "ModuleContext", func: ast.AST) -> set[str]:
+    """Names locally bound to lock/file factories inside ``func``."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        if module.resolve_call(node.value) in _UNPICKLABLE_FACTORIES:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _local_defs(func: ast.AST) -> set[str]:
+    """Functions defined *inside* ``func`` (closures, unpicklable)."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if node is func:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+    return names
+
+
+def _describe_callable_problem(
+    node: ast.AST, local_defs: set[str]
+) -> str | None:
+    if isinstance(node, ast.Lambda):
+        return "a lambda (lambdas cannot be pickled into workers)"
+    if isinstance(node, ast.Name) and node.id in local_defs:
+        return (
+            f"locally defined function {node.id!r} (closures cannot "
+            "be pickled into workers)"
+        )
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return (
+            f"bound method self.{node.attr} (pickles the whole owning "
+            "object, which typically fails)"
+        )
+    return None
+
+
+def _describe_argument_problem(
+    node: ast.AST, unpicklable: set[str]
+) -> str | None:
+    if isinstance(node, ast.Lambda):
+        return "a lambda argument"
+    if isinstance(node, ast.Name):
+        if node.id == "self":
+            return "bare self as a worker argument"
+        if node.id in unpicklable:
+            return f"{node.id!r}, locally bound to a lock or file handle"
+    return None
+
+
+@register_check
+class PicklabilityCheck(Checker):
+    rule = "REP005"
+    title = "process-pool entrypoints and arguments are picklable"
+    hint = (
+        "use a module-level function taking plain-data arguments, like "
+        "the runner's _worker_run_cell"
+    )
+
+    def run(
+        self, module: "ModuleContext", project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        pools = _pool_variables(module)
+        # Per-function caches so large files stay cheap.
+        local_defs_cache: dict[ast.AST, set[str]] = {}
+        unpicklable_cache: dict[ast.AST, set[str]] = {}
+
+        def _scoped(call: ast.Call) -> tuple[set[str], set[str]]:
+            func = module.enclosing_function(call)
+            if func is None:
+                return set(), set()
+            if func not in local_defs_cache:
+                local_defs_cache[func] = _local_defs(func)
+                unpicklable_cache[func] = _unpicklable_locals(module, func)
+            return local_defs_cache[func], unpicklable_cache[func]
+
+        for call in module.calls:
+            resolved = module.resolve_call(call)
+            if resolved in _POOL_QUALS:
+                # Constructor: check initializer= / initargs=.
+                local_defs, unpicklable = _scoped(call)
+                for kw in call.keywords:
+                    if kw.arg == "initializer":
+                        problem = _describe_callable_problem(
+                            kw.value, local_defs
+                        )
+                        if problem:
+                            yield self.finding(
+                                module,
+                                kw.value,
+                                f"initializer is {problem}",
+                            )
+                    elif kw.arg == "initargs" and isinstance(
+                        kw.value, (ast.Tuple, ast.List)
+                    ):
+                        for element in kw.value.elts:
+                            problem = _describe_argument_problem(
+                                element, unpicklable
+                            )
+                            if problem:
+                                yield self.finding(
+                                    module,
+                                    element,
+                                    f"initargs contains {problem}",
+                                )
+                continue
+            # pool.submit(fn, *args) / pool.map(fn, *iterables)
+            if not (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("submit", "map")
+                and isinstance(call.func.value, ast.Name)
+                and (module.enclosing_function(call), call.func.value.id)
+                in pools
+                and call.args
+            ):
+                continue
+            local_defs, unpicklable = _scoped(call)
+            entry = call.args[0]
+            problem = _describe_callable_problem(entry, local_defs)
+            if problem:
+                yield self.finding(
+                    module,
+                    entry,
+                    f"{call.func.attr}() entrypoint is {problem}",
+                )
+            for arg in call.args[1:]:
+                problem = _describe_argument_problem(arg, unpicklable)
+                if problem:
+                    yield self.finding(
+                        module,
+                        arg,
+                        f"{call.func.attr}() passes {problem} into the "
+                        "worker",
+                    )

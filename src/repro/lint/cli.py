@@ -1,0 +1,166 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes follow the repo-wide CLI contract:
+
+* ``0`` — clean (no actionable findings);
+* ``1`` — findings (the run worked; the code violates an invariant);
+* ``2`` — usage error (unknown rule, unreadable baseline, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import BaselineError, load_baseline, write_baseline
+from repro.lint.engine import lint_paths
+from repro.lint.registry import all_checks
+from repro.lint.report import render_json, render_text
+
+__all__ = ["main", "add_lint_arguments", "run_lint"]
+
+#: Default on-disk location of the test-reference index cache
+#: (gitignored; CI persists it between runs).
+DEFAULT_CACHE = ".repro-lint-cache.json"
+#: Default committed baseline file.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ under --root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root findings are reported relative to",
+    )
+    parser.add_argument(
+        "--tests-root",
+        default=None,
+        help="tests tree for the parity reference index "
+        "(default: tests/ under --root)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE} under --root "
+        "when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help=f"reference-index cache file (default: {DEFAULT_CACHE} "
+        "under --root)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the reference-index cache",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments (shared entry point)."""
+    if args.list_rules:
+        for cls in all_checks():
+            print(f"{cls.rule}  {cls.title}")
+        return 0
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"error: --root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        default = root / "src"
+        paths = [default if default.is_dir() else root]
+
+    tests_root = (
+        Path(args.tests_root) if args.tests_root else root / "tests"
+    )
+    cache_path = None
+    if not args.no_cache:
+        cache_path = (
+            Path(args.cache) if args.cache else root / DEFAULT_CACHE
+        )
+
+    rules = None
+    if args.rules:
+        rules = [part.strip() for part in args.rules.split(",") if part.strip()]
+        if not rules:
+            print("error: --rules lists no rule ids", file=sys.stderr)
+            return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    try:
+        baseline = load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        result = lint_paths(
+            paths,
+            root=root,
+            tests_root=tests_root,
+            rules=rules,
+            baseline=frozenset(baseline),
+            cache_path=cache_path,
+        )
+    except ValueError as exc:  # unknown rule id
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings + result.baselined)
+        print(
+            f"wrote {len(result.findings) + len(result.baselined)} "
+            f"finding(s) to {baseline_path}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.clean else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_lint(args)

@@ -1,0 +1,197 @@
+"""Per-module and per-project analysis context handed to checkers.
+
+:class:`ModuleContext` owns the parsed AST of one file plus the cheap
+derived structures every checker needs — a child→parent map, an
+import-alias table and a dotted-call-name resolver — built once and
+shared, so five checkers do not re-walk the tree five times for the
+same questions.
+
+:class:`ProjectContext` owns cross-file state: the repository root the
+relative paths are anchored to and the lazily built test-reference
+index (:mod:`repro.lint.refs`) the parity checker consults.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import cached_property
+from pathlib import Path
+
+__all__ = ["ModuleContext", "ProjectContext", "dotted_name"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ModuleContext:
+    """One parsed source file plus shared derived lookups."""
+
+    def __init__(self, path: Path, relpath: str, source: str, tree: ast.Module):
+        self.path = path
+        #: Repo-relative path with ``/`` separators (finding identity).
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child → parent map over the whole tree."""
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        return parents
+
+    def ancestors(self, node: ast.AST) -> list[ast.AST]:
+        """Parents of ``node``, innermost first, up to the module."""
+        chain: list[ast.AST] = []
+        current = self.parents.get(node)
+        while current is not None:
+            chain.append(current)
+            current = self.parents.get(current)
+        return chain
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost function/method containing ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        """The innermost class containing ``node``."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def symbol_for(self, node: ast.AST) -> str:
+        """Dotted scope name (``Class.method``), ``""`` at module level."""
+        parts: list[str] = []
+        scopes: list[ast.AST] = [node] + self.ancestors(node)
+        for scope in scopes:
+            if isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                parts.append(scope.name)
+        return ".".join(reversed(parts))
+
+    @cached_property
+    def functions(
+        self,
+    ) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Every function/method definition, in source order."""
+        return [
+            node
+            for node in ast.walk(self.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    @cached_property
+    def calls(self) -> list[ast.Call]:
+        """Every call expression, in source order."""
+        return [
+            node for node in ast.walk(self.tree)
+            if isinstance(node, ast.Call)
+        ]
+
+    # ------------------------------------------------------------------
+    # Imports and call resolution
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def import_aliases(self) -> dict[str, str]:
+        """Local binding name → absolute dotted origin.
+
+        ``import numpy as np`` → ``{"np": "numpy"}``;
+        ``from numpy.random import default_rng`` →
+        ``{"default_rng": "numpy.random.default_rng"}``;
+        ``import numpy.random`` binds the top-level name →
+        ``{"numpy": "numpy"}``. Relative imports resolve only the
+        imported segment (enough for in-repo idiom checks).
+        """
+        aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        aliases[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".", 1)[0]
+                        aliases[top] = top
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    aliases[bound] = f"{node.module}.{alias.name}"
+        return aliases
+
+    @cached_property
+    def imported_modules(self) -> set[str]:
+        """Top-level module names this file imports (``numpy``, ``os``)."""
+        modules: set[str] = set()
+        for origin in self.import_aliases.values():
+            modules.add(origin.split(".", 1)[0])
+        return modules
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Alias-resolved dotted name of a call target.
+
+        ``np.random.default_rng(...)`` resolves to
+        ``numpy.random.default_rng`` when the module imported numpy
+        under ``np``; ``self._read(...)`` stays ``self._read``. Returns
+        ``None`` for non-name call targets (lambdas, subscripts).
+        """
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = self.import_aliases.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+
+class ProjectContext:
+    """Cross-file state shared by one lint run."""
+
+    def __init__(
+        self,
+        root: Path,
+        tests_root: Path,
+        *,
+        cache_path: Path | None = None,
+    ):
+        #: Anchor of every finding's relative path.
+        self.root = root
+        self.tests_root = tests_root
+        self.cache_path = cache_path
+
+    @cached_property
+    def test_identifiers(self) -> frozenset[str]:
+        """Every identifier referenced anywhere under ``tests_root``.
+
+        Built lazily (only the parity checker pays for it) through the
+        mtime-keyed cache in :mod:`repro.lint.refs`.
+        """
+        from repro.lint.refs import test_reference_index
+
+        return test_reference_index(
+            self.tests_root, cache_path=self.cache_path
+        )

@@ -1,0 +1,181 @@
+"""The lint engine: discover, parse, check, waive, baseline.
+
+One :func:`lint_paths` call is one run: it walks the requested paths,
+parses each Python file once into a :class:`ModuleContext`, hands the
+context to every registered checker, then post-filters raw findings
+through the file's inline waivers and the committed baseline. The
+result separates *actionable* findings (these fail the run) from
+waived and baselined ones (reported as counts so suppression stays
+visible).
+
+Files that do not parse are reported as ``REP000`` findings rather
+than crashing the run: a syntax error in one module must not hide
+findings in the other two hundred.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.context import ModuleContext, ProjectContext
+from repro.lint.findings import Finding
+from repro.lint.registry import all_checks, get_check
+from repro.lint.waivers import WAIVER_RULE, parse_waivers
+
+__all__ = ["LintResult", "lint_paths", "iter_python_files"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".mypy_cache",
+    ".ruff_cache",
+    ".pytest_cache",
+    "build",
+    "dist",
+}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    #: Actionable findings: not waived, not baselined. Non-empty → exit 1.
+    findings: list[Finding] = field(default_factory=list)
+    #: Suppressed by an inline waiver.
+    waived: list[Finding] = field(default_factory=list)
+    #: Suppressed by the committed baseline.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Number of files checked.
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        per_rule: dict[str, int] = {}
+        for finding in self.findings:
+            per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+        return per_rule
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Every ``*.py`` under ``paths``, deduplicated, sorted."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                seen.add(path)
+            continue
+        if not path.is_dir():
+            continue
+        for candidate in path.rglob("*.py"):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            seen.add(candidate)
+    return sorted(seen)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    root: Path,
+    tests_root: Path,
+    rules: Sequence[str] | None = None,
+    baseline: frozenset[str] | set[str] = frozenset(),
+    cache_path: Path | None = None,
+) -> LintResult:
+    """Run the registered checkers over every Python file in ``paths``.
+
+    ``rules`` restricts the run to a subset of rule ids (unknown ids
+    raise ``ValueError`` — a typo must not silently check nothing).
+    """
+    if rules is not None:
+        checkers = [get_check(rule)() for rule in rules]
+    else:
+        checkers = [cls() for cls in all_checks()]
+    project = ProjectContext(root, tests_root, cache_path=cache_path)
+    result = LintResult()
+
+    for path in iter_python_files(paths):
+        relpath = _relpath(path, root)
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            result.findings.append(
+                Finding(
+                    path=relpath,
+                    line=1,
+                    col=0,
+                    rule=WAIVER_RULE,
+                    message=f"cannot read file: {exc}",
+                    symbol="",
+                    hint="",
+                )
+            )
+            continue
+        result.files += 1
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=WAIVER_RULE,
+                    message=f"cannot parse file: {exc.msg}",
+                    symbol="",
+                    hint="",
+                )
+            )
+            continue
+        module = ModuleContext(path, relpath, source, tree)
+        waivers, problems = parse_waivers(source)
+
+        raw: list[Finding] = []
+        for checker in checkers:
+            raw.extend(checker.run(module, project))
+        for problem in problems:
+            # Waiver-syntax problems are findings themselves and are
+            # never waivable — a waiver that cannot be parsed must not
+            # be able to suppress its own diagnosis.
+            raw.append(
+                Finding(
+                    path=relpath,
+                    line=problem.line,
+                    col=problem.col,
+                    rule=WAIVER_RULE,
+                    message=problem.message,
+                    symbol="",
+                    hint="see the waiver syntax in README "
+                    "(# repro: lint-ok[RULE] justification)",
+                )
+            )
+
+        for finding in raw:
+            if finding.rule != WAIVER_RULE and any(
+                finding.rule in waiver.rules and waiver.covers(finding.line)
+                for waiver in waivers
+            ):
+                result.waived.append(finding)
+            elif finding.fingerprint in baseline:
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+
+    result.findings.sort()
+    result.waived.sort()
+    result.baselined.sort()
+    return result

@@ -1,0 +1,73 @@
+"""The :class:`Finding` record every checker emits.
+
+A finding pins one invariant violation to a source location. Its
+:attr:`Finding.fingerprint` deliberately excludes the line/column so a
+baselined finding survives unrelated edits above it: two findings with
+the same rule, file, enclosing symbol and message are the same finding
+no matter where in the file they drifted to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One statically detected invariant violation.
+
+    Attributes:
+        path: file path, repo-relative with ``/`` separators (stable
+            across machines, suitable for baselines and goldens).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule: rule identifier (``REP001`` ... ``REP005``; ``REP000``
+            is reserved for lint-infrastructure findings such as
+            malformed waivers and syntax errors).
+        message: one-line statement of the violation. Must not embed
+            line numbers — it participates in the fingerprint.
+        symbol: dotted enclosing scope (``Class.method``), ``""`` at
+            module level.
+        hint: how to fix (or legitimately waive) the finding.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    symbol: str = ""
+    hint: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-drift-stable identity used by the baseline file."""
+        token = "|".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha256(token.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (deterministic key set)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "symbol": self.symbol,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """The one-line text-reporter form."""
+        location = f"{self.path}:{self.line}:{self.col + 1}"
+        text = f"{location}: {self.rule} {self.message}"
+        if self.symbol:
+            text += f" [in {self.symbol}]"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

@@ -1,0 +1,117 @@
+"""Cheap cross-file test-reference index (for the parity checker).
+
+REP004 asks one cross-file question: *is this symbol referenced by any
+test?* Answering it precisely (imports, fixtures, call graphs) would
+cost more than the rule is worth, so the index is deliberately cheap:
+the set of every identifier that appears anywhere in ``tests/`` — name
+loads, attribute accesses, definitions and keyword arguments alike. A
+symbol absent from that set provably has no test touching it.
+
+Parsing a few hundred test files is the slow part, so the index is
+cached on disk keyed by ``(mtime_ns, size)`` per file: an unchanged
+tests tree re-keys in one stat pass (this is the cache the CI job
+persists between steps).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+__all__ = ["collect_identifiers", "test_reference_index"]
+
+#: Cache format version; bump when the identifier extraction changes.
+_CACHE_VERSION = 1
+
+
+def collect_identifiers(tree: ast.AST) -> set[str]:
+    """Every identifier a module references or defines."""
+    identifiers: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            identifiers.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            identifiers.add(node.attr)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            identifiers.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            identifiers.add(node.name)
+        elif isinstance(node, ast.keyword) and node.arg is not None:
+            identifiers.add(node.arg)
+        elif isinstance(node, ast.alias):
+            identifiers.add((node.asname or node.name).split(".", 1)[0])
+    return identifiers
+
+
+def _load_cache(cache_path: Path | None) -> dict:
+    if cache_path is None:
+        return {}
+    try:
+        raw = json.loads(cache_path.read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(raw, dict) or raw.get("version") != _CACHE_VERSION:
+        return {}
+    files = raw.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def _save_cache(cache_path: Path | None, files: dict) -> None:
+    if cache_path is None:
+        return
+    try:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        cache_path.write_text(
+            json.dumps(
+                {"version": _CACHE_VERSION, "files": files}, sort_keys=True
+            )
+        )
+    except OSError:
+        # The cache is a pure accelerator; failing to write it costs
+        # one re-parse on the next run, nothing else.
+        return
+
+
+def test_reference_index(
+    tests_root: Path, *, cache_path: Path | None = None
+) -> frozenset[str]:
+    """The union of identifiers over every ``*.py`` under ``tests_root``.
+
+    A missing tests tree yields the empty set (every ``naive=``
+    function then flags — the honest answer when there are no tests).
+    """
+    if not tests_root.is_dir():
+        return frozenset()
+    cached = _load_cache(cache_path)
+    fresh: dict[str, dict] = {}
+    identifiers: set[str] = set()
+    for path in sorted(tests_root.rglob("*.py")):
+        key = str(path.relative_to(tests_root).as_posix())
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entry = cached.get(key)
+        if (
+            isinstance(entry, dict)
+            and entry.get("mtime_ns") == stat.st_mtime_ns
+            and entry.get("size") == stat.st_size
+            and isinstance(entry.get("ids"), list)
+        ):
+            ids = entry["ids"]
+        else:
+            try:
+                tree = ast.parse(path.read_text())
+            except (OSError, SyntaxError):
+                continue
+            ids = sorted(collect_identifiers(tree))
+        fresh[key] = {
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "ids": ids,
+        }
+        identifiers.update(ids)
+    if fresh != cached:
+        _save_cache(cache_path, fresh)
+    return frozenset(identifiers)

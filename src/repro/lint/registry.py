@@ -1,0 +1,133 @@
+"""The ``@register_check`` registry.
+
+Mirrors the platform (:mod:`repro.platforms.registry`) and scenario
+(:mod:`repro.scenarios.registry`) registries: adding a repo invariant
+is one decorated class, discovered by the engine without touching it::
+
+    from repro.lint import Checker, Finding, register_check
+
+    @register_check
+    class NoSleepInHotPath(Checker):
+        rule = "REP017"
+        title = "no time.sleep in simulation hot paths"
+        hint = "move the wait out of the simulate() body"
+
+        def run(self, module, project):
+            ...
+            yield self.finding(module, node, "time.sleep in hot path")
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import ModuleContext, ProjectContext
+
+__all__ = ["Checker", "register_check", "check_ids", "get_check", "all_checks"]
+
+_RULE_ID = re.compile(r"^REP\d{3}$")
+_CHECKS: dict[str, type["Checker"]] = {}
+
+
+class Checker:
+    """Base class of one registered lint rule.
+
+    Subclasses set :attr:`rule`, :attr:`title` and :attr:`hint`, and
+    implement :meth:`run` yielding :class:`Finding` records. A checker
+    instance is created fresh per engine run and invoked once per
+    module, in sorted path order.
+    """
+
+    #: Rule identifier, ``REPnnn`` (``REP000`` is reserved).
+    rule: str = ""
+    #: One-line invariant statement (shown by ``--list-rules``).
+    title: str = ""
+    #: Default fix hint attached to findings.
+    hint: str = ""
+
+    def run(
+        self, module: "ModuleContext", project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        """Yield findings for one module (may consult the project)."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes every override a generator
+
+    def finding(
+        self,
+        module: "ModuleContext",
+        node: ast.AST,
+        message: str,
+        *,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` in ``module``."""
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            symbol=module.symbol_for(node),
+            hint=self.hint if hint is None else hint,
+        )
+
+
+def register_check(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding one rule to the registry.
+
+    Rejects malformed ids, the reserved ``REP000`` and collisions —
+    the same eager-validation posture as the platform registry.
+    """
+    rule = cls.rule
+    if not _RULE_ID.match(rule):
+        raise ValueError(
+            f"check {cls.__name__} has malformed rule id {rule!r} "
+            "(expected REPnnn)"
+        )
+    if rule == "REP000":
+        raise ValueError(
+            "REP000 is reserved for lint-infrastructure findings"
+        )
+    existing = _CHECKS.get(rule)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"rule {rule} is already registered by {existing.__name__}"
+        )
+    if not cls.title:
+        raise ValueError(f"check {cls.__name__} must set a title")
+    _CHECKS[rule] = cls
+    return cls
+
+
+def check_ids() -> tuple[str, ...]:
+    """Registered rule ids, sorted."""
+    _load_builtin_checks()
+    return tuple(sorted(_CHECKS))
+
+
+def get_check(rule: str) -> type[Checker]:
+    """The checker class of one rule id (``ValueError`` if unknown)."""
+    _load_builtin_checks()
+    try:
+        return _CHECKS[rule]
+    except KeyError:
+        known = ", ".join(sorted(_CHECKS))
+        raise ValueError(
+            f"unknown lint rule {rule!r}; known rules: {known}"
+        ) from None
+
+
+def all_checks() -> tuple[type[Checker], ...]:
+    """Every registered checker class, in rule-id order."""
+    _load_builtin_checks()
+    return tuple(_CHECKS[rule] for rule in sorted(_CHECKS))
+
+
+def _load_builtin_checks() -> None:
+    """Import the built-in rule modules (registration side effect)."""
+    import repro.lint.checks  # noqa: F401  (registers on import)

@@ -1,0 +1,54 @@
+"""Text and JSON reporters for a :class:`~repro.lint.engine.LintResult`.
+
+The text reporter is for humans at a terminal (one ``path:line:col``
+line per finding, clickable in editors, plus a summary). The JSON
+reporter is the machine interface the CI job and the golden-file tests
+consume: stable key order, a schema version, and fingerprints so a
+finding can be copied into the baseline verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+__all__ = ["render_text", "render_json", "REPORT_VERSION"]
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files} file(s)"
+    )
+    extras: list[str] = []
+    if result.waived:
+        extras.append(f"{len(result.waived)} waived")
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    if result.findings:
+        per_rule = ", ".join(
+            f"{rule}: {count}"
+            for rule, count in sorted(result.counts().items())
+        )
+        summary += f" [{per_rule}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": REPORT_VERSION,
+        "files": result.files,
+        "counts": result.counts(),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "waived": [finding.to_dict() for finding in result.waived],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

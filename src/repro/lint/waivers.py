@@ -1,0 +1,142 @@
+"""Inline waivers: ``# repro: lint-ok[RULE] justification``.
+
+A waiver suppresses matching findings on its own line, or — when the
+comment stands alone on its line — on the next non-comment line below
+it (so a long justification may wrap over several comment lines).
+Every waiver **must** carry a justification: the point of the waiver
+syntax is that the reasoning for breaking an invariant lives next to
+the code that breaks it, survives refactors and shows up in review.
+
+Syntax::
+
+    fh = open(path, "rb")  # repro: lint-ok[REP002] scrub reads raw bytes
+    # repro: lint-ok[REP001,REP003] one comment may waive several rules
+    token = secrets.token_hex(6)
+
+Malformed waivers (no rule list, unknown rule id, missing
+justification) are themselves reported as rule ``REP000`` findings and
+cannot be waived — a waiver that does not say *why* is a bug.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Waiver", "parse_waivers", "WAIVER_RULE"]
+
+#: Rule id under which waiver-syntax problems are reported.
+WAIVER_RULE = "REP000"
+
+_MARKER = re.compile(r"#\s*repro:\s*lint-ok")
+_WAIVER = re.compile(r"#\s*repro:\s*lint-ok\[([^\]]*)\]\s*(.*)$")
+_RULE_ID = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed waiver comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    #: True when the comment is the only token on its line, in which
+    #: case it covers the next non-comment line (decorator-style
+    #: placement; the justification may continue over comment lines).
+    standalone: bool
+    #: First non-comment line at or below :attr:`line` (the statement
+    #: a standalone waiver covers). Equals :attr:`line` for trailing
+    #: waivers.
+    target: int = 0
+
+    def covers(self, line: int) -> bool:
+        return line == self.line or (self.standalone and line == self.target)
+
+
+@dataclass(frozen=True)
+class WaiverProblem:
+    """A malformed waiver comment (reported as :data:`WAIVER_RULE`)."""
+
+    line: int
+    col: int
+    message: str
+
+
+def parse_waivers(
+    source: str,
+) -> tuple[list[Waiver], list[WaiverProblem]]:
+    """Extract waivers (and waiver-syntax problems) from one module.
+
+    Uses :mod:`tokenize` rather than a per-line regex so waivers inside
+    string literals are never misread as live waivers.
+    """
+    waivers: list[Waiver] = []
+    problems: list[WaiverProblem] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine reports unparseable files separately.
+        return [], []
+    for token in tokens:
+        if token.type != tokenize.COMMENT or not _MARKER.search(token.string):
+            continue
+        line, col = token.start
+        match = _WAIVER.search(token.string)
+        if match is None:
+            problems.append(
+                WaiverProblem(
+                    line,
+                    col,
+                    "malformed waiver: expected "
+                    "`# repro: lint-ok[RULE,...] justification`",
+                )
+            )
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        justification = match.group(2).strip()
+        if not rules:
+            problems.append(
+                WaiverProblem(
+                    line, col, "waiver lists no rule ids: lint-ok[...]"
+                )
+            )
+            continue
+        bad = [rule for rule in rules if not _RULE_ID.match(rule)]
+        if bad:
+            problems.append(
+                WaiverProblem(
+                    line,
+                    col,
+                    f"waiver names malformed rule id(s) {', '.join(bad)} "
+                    "(expected REPnnn)",
+                )
+            )
+            continue
+        if not justification:
+            problems.append(
+                WaiverProblem(
+                    line,
+                    col,
+                    f"waiver for {', '.join(rules)} has no justification — "
+                    "say why the invariant does not apply here",
+                )
+            )
+            continue
+        standalone = token.line[: col].strip() == ""
+        target = line
+        if standalone:
+            lines = source.splitlines()
+            target = line + 1
+            # Skip continuation comment lines (and blanks) so a
+            # justification may wrap without losing its target.
+            while target <= len(lines) and (
+                not lines[target - 1].strip()
+                or lines[target - 1].lstrip().startswith("#")
+            ):
+                target += 1
+        waivers.append(Waiver(line, rules, justification, standalone, target))
+    return waivers, problems

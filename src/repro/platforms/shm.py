@@ -57,6 +57,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.faults import inject
 from repro.graph.hetero import HeteroGraph, Relation
 from repro.graph.semantic import SemanticGraph
 
@@ -89,6 +90,8 @@ class SegmentIntegrityError(RuntimeError):
 
 
 def _segment_name() -> str:
+    # repro: lint-ok[REP001] segment names need OS-wide uniqueness, not
+    # reproducibility — no simulation result ever depends on the name
     return f"{_NAME_PREFIX}{os.getpid() % 100000}-{secrets.token_hex(6)}"
 
 
@@ -148,6 +151,7 @@ class AttachedSegment:
     """A worker-side read-only mapping of a published segment."""
 
     def __init__(self, handle: SegmentHandle) -> None:
+        inject("shm.attach", key=handle.name)
         self.handle = handle
         self._shm = None
         self._mm = None
@@ -322,6 +326,7 @@ class ArtifactSegment:
         toc = tuple(specs)
 
         name = _segment_name()
+        inject("shm.publish", key=name)
         shm = mm = path = None
         if backend in (None, "shm"):
             try:

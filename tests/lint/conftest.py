@@ -1,0 +1,33 @@
+"""Shared helpers for the lint test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# The fixture tree holds deliberately broken modules (and a fake test
+# file that imports one) — lint input, not test code.
+collect_ignore = ["fixtures"]
+
+
+def lint_fixture(*names, rules=None, root=FIXTURES, tests_root=None,
+                 baseline=frozenset()):
+    """Lint fixture files with paths reported relative to fixtures/."""
+    paths = [root / name for name in names]
+    return lint_paths(
+        paths,
+        root=root,
+        tests_root=tests_root if tests_root is not None else root / "no-tests",
+        rules=rules,
+        baseline=baseline,
+        cache_path=None,
+    )
+
+
+@pytest.fixture
+def fixtures_dir():
+    return FIXTURES

@@ -1,0 +1,30 @@
+"""REP001 fixture: every statement below violates determinism."""
+
+import os
+import random
+import secrets
+import time
+import uuid
+
+import numpy as np
+
+
+def unseeded_generator():
+    return np.random.default_rng()  # unseeded: OS entropy
+
+
+def legacy_global_numpy():
+    return np.random.rand(4)  # hidden global RandomState
+
+
+def global_mersenne():
+    random.seed(0)  # mutates global state even when "seeded"
+    return random.random()
+
+
+def wall_clock_key():
+    return time.time()
+
+
+def os_entropy():
+    return os.urandom(8), uuid.uuid4(), secrets.token_hex(4)

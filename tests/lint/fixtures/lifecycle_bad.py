@@ -1,0 +1,43 @@
+"""REP003 fixture: acquisitions that can leak (fires)."""
+
+import fcntl
+import mmap
+import os
+import tempfile
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_segment(name: str) -> bytes:
+    shm = SharedMemory(name=name)
+    data = bytes(shm.buf[:8])  # an exception here leaks the mapping
+    shm.close()
+    return data
+
+
+def leaky_fd(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    os.fsync(fd)  # may raise; fd never closed on that path
+    os.close(fd)
+
+
+def leaky_tempfile() -> str:
+    handle = tempfile.NamedTemporaryFile(delete=False)
+    handle.write(b"x")
+    return "done"  # handle dropped without close/unlink
+
+
+def lock_without_finally(fd: int) -> None:
+    fcntl.flock(fd, fcntl.LOCK_EX)
+    do_work()
+    fcntl.flock(fd, fcntl.LOCK_UN)  # skipped if do_work() raises
+
+
+def leaky_mmap(fd: int, size: int) -> int:
+    mm = mmap.mmap(fd, size)
+    value = int(mm[0])
+    del mm  # a del is not a close
+    return value
+
+
+def do_work() -> None:
+    pass

@@ -1,0 +1,64 @@
+"""REP003 fixture: every repo release idiom (stays silent)."""
+
+import fcntl
+import mmap
+import os
+import tempfile
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+class Owner:
+    def __init__(self, name: str) -> None:
+        # Stored on the owner: its lifecycle releases the handle.
+        self._shm = SharedMemory(name=name)
+
+    def close(self) -> None:
+        self._shm.close()
+
+
+def with_statement(path: str) -> bytes:
+    with tempfile.NamedTemporaryFile() as handle:
+        return handle.read()
+
+
+def try_finally(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def finalized(name: str) -> SharedMemory:
+    shm = SharedMemory(name=name)
+    weakref.finalize(shm, shm.close)
+    return shm
+
+
+def escapes_to_caller(fd: int, size: int) -> mmap.mmap:
+    mm = mmap.mmap(fd, size)
+    return mm
+
+
+def handed_to_owner(fd: int, size: int) -> "Wrapper":
+    return Wrapper(mmap.mmap(fd, size))
+
+
+def locked_update(fd: int) -> None:
+    fcntl.flock(fd, fcntl.LOCK_EX)
+    try:
+        pass
+    finally:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+
+
+def pooled(jobs: int) -> list:
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(str, range(4)))
+
+
+class Wrapper:
+    def __init__(self, mm: mmap.mmap) -> None:
+        self._mm = mm

@@ -1,0 +1,23 @@
+"""REP004 fixture: one tested and one untested ``naive=`` pair."""
+
+
+def tested_kernel(values, *, naive=False):
+    if naive:
+        return sum(values)
+    total = 0
+    for value in values:
+        total += value
+    return total
+
+
+def untested_kernel(values, *, naive=False):
+    return max(values) if naive else sorted(values)[-1]
+
+
+class TestedOp:
+    def __init__(self, *, naive=False):
+        self.naive = naive
+
+
+def no_naive_param(values):
+    return values

@@ -1,0 +1,8 @@
+"""References tested_kernel and TestedOp, never untested_kernel."""
+
+from kernels import TestedOp, tested_kernel
+
+
+def test_parity():
+    assert tested_kernel([1, 2], naive=True) == tested_kernel([1, 2])
+    assert TestedOp(naive=True).naive

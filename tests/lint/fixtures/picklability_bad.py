@@ -1,0 +1,40 @@
+"""REP005 fixture: unpicklable objects crossing the pool boundary."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+class Runner:
+    def run_cell(self, cell: int) -> int:
+        return cell
+
+    def fan_out(self, cells: list) -> list:
+        lock = threading.Lock()
+        with ProcessPoolExecutor() as pool:
+            futures = [
+                pool.submit(lambda c: c + 1, cell) for cell in cells
+            ]
+            pool.submit(self.run_cell, cells[0])
+            pool.submit(_square, self)
+            pool.submit(_square, lock)
+        return [f.result() for f in futures]
+
+
+def closure_entrypoint(items: list) -> list:
+    def work(item: int) -> int:
+        return item
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(work, items))
+
+
+def bad_initializer() -> None:
+    handle = open("/dev/null", "rb")
+    pool = ProcessPoolExecutor(
+        initializer=lambda: None, initargs=(handle,)
+    )
+    pool.shutdown()

@@ -1,0 +1,31 @@
+"""REP005 fixture: the runner's module-level convention (stays silent)."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def _worker_init(seed: int) -> None:
+    pass
+
+
+def _worker_run(cell: int) -> int:
+    return cell
+
+
+def fan_out(cells: list, jobs: int) -> list:
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_worker_init, initargs=(1,)
+    ) as pool:
+        return [pool.submit(_worker_run, cell).result() for cell in cells]
+
+
+class ThreadedRunner:
+    """Thread pools share memory — bound methods and lambdas are fine."""
+
+    def run_cell(self, cell: int) -> int:
+        return cell
+
+    def fan_out(self, cells: list) -> list:
+        with ThreadPoolExecutor() as pool:
+            futures = [pool.submit(self.run_cell, c) for c in cells]
+            futures += [pool.submit(lambda: 0)]
+        return [f.result() for f in futures]

@@ -1,0 +1,17 @@
+"""REP002 fixture: raw durable I/O with no fault site (fires)."""
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def save_payload(root: Path, name: str, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=root)
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(data)
+        os.fsync(fh.fileno())
+    os.replace(tmp, root / name)
+
+
+def load_payload(path: Path) -> bytes:
+    return path.read_bytes()

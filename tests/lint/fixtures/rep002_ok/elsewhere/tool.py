@@ -1,0 +1,7 @@
+"""REP002 fixture: raw I/O outside the platform modules is out of scope."""
+
+from pathlib import Path
+
+
+def read_anywhere(path: Path) -> bytes:
+    return path.read_bytes()

@@ -1,0 +1,28 @@
+"""REP002 fixture: the same I/O behind fault sites (stays silent)."""
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.faults import inject, inject_bytes
+
+
+def save_payload(root: Path, name: str, data: bytes) -> None:
+    inject("store.save", key=name)
+    data = inject_bytes("store.save.bytes", data, key=name)
+    fd, tmp = tempfile.mkstemp(dir=root)
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(data)
+        os.fsync(fh.fileno())
+    os.replace(tmp, root / name)
+
+
+def load_payload(path: Path) -> bytes:
+    inject("store.load", key=path.name)
+    return path.read_bytes()
+
+
+def scrub(path: Path) -> bytes:
+    # repro: lint-ok[REP002] fixture: the scrub path must stay outside
+    # fault scope so it works while a plan is armed
+    return path.read_bytes()

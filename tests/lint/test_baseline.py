@@ -1,0 +1,85 @@
+"""Baseline round-trip, suppression and failure modes."""
+
+import json
+
+import pytest
+
+from repro.lint import lint_paths, load_baseline, write_baseline
+from repro.lint.baseline import BaselineError
+from tests.lint.conftest import FIXTURES, lint_fixture
+
+
+def _bad_fixture_result():
+    return lint_fixture("determinism_bad.py", rules=["REP001"])
+
+
+class TestRoundTrip:
+    def test_write_then_load_restores_fingerprints(self, tmp_path):
+        result = _bad_fixture_result()
+        path = tmp_path / "lint-baseline.json"
+        write_baseline(path, result.findings)
+        fingerprints = load_baseline(path)
+        assert fingerprints == {f.fingerprint for f in result.findings}
+
+    def test_baselined_run_is_clean(self, tmp_path):
+        result = _bad_fixture_result()
+        path = tmp_path / "lint-baseline.json"
+        write_baseline(path, result.findings)
+        rerun = lint_paths(
+            [FIXTURES / "determinism_bad.py"],
+            root=FIXTURES,
+            tests_root=FIXTURES / "no-tests",
+            rules=["REP001"],
+            baseline=frozenset(load_baseline(path)),
+            cache_path=None,
+        )
+        assert rerun.clean
+        assert len(rerun.baselined) == len(result.findings)
+
+    def test_fingerprints_survive_line_drift(self):
+        # Fingerprints exclude line numbers: the same violation at a
+        # different line maps to the same baseline entry.
+        result = _bad_fixture_result()
+        finding = result.findings[0]
+        moved = type(finding)(
+            path=finding.path,
+            line=finding.line + 40,
+            col=finding.col,
+            rule=finding.rule,
+            message=finding.message,
+            symbol=finding.symbol,
+            hint=finding.hint,
+        )
+        assert moved.fingerprint == finding.fingerprint
+
+    def test_baseline_file_is_deterministic(self, tmp_path):
+        result = _bad_fixture_result()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_baseline(a, list(result.findings))
+        write_baseline(b, list(reversed(result.findings)))
+        assert a.read_text() == b.read_text()
+
+
+class TestFailureModes:
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_entry_without_fingerprint_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"version": 1, "findings": [{"rule": "REP001"}]})
+        )
+        with pytest.raises(BaselineError):
+            load_baseline(path)

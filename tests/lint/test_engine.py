@@ -1,0 +1,91 @@
+"""Engine behaviour: golden findings, damaged inputs, rule selection."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.engine import iter_python_files
+from repro.lint.report import render_json, render_text
+from tests.lint.conftest import lint_fixture
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+class TestGolden:
+    def test_determinism_findings_match_golden(self):
+        """The full JSON report is pinned byte-for-byte.
+
+        Regenerate after a deliberate rule change with:
+        ``PYTHONPATH=src python -m repro.lint --no-cache --format json \\
+        --root tests/lint/fixtures tests/lint/fixtures/determinism_bad.py \\
+        --rules REP001 > tests/lint/goldens/determinism_bad.json``
+        """
+        result = lint_fixture("determinism_bad.py", rules=["REP001"])
+        golden = (GOLDENS / "determinism_bad.json").read_text()
+        assert render_json(result) + "\n" == golden
+
+    def test_json_report_shape(self):
+        result = lint_fixture("determinism_bad.py", rules=["REP001"])
+        payload = json.loads(render_json(result))
+        assert payload["version"] == 1
+        assert payload["counts"] == {"REP001": 8}
+        first = payload["findings"][0]
+        assert set(first) == {
+            "path", "line", "col", "rule", "message", "symbol",
+            "hint", "fingerprint",
+        }
+
+    def test_text_report_mentions_rule_and_location(self):
+        result = lint_fixture("determinism_bad.py", rules=["REP001"])
+        text = render_text(result)
+        assert "determinism_bad.py:" in text
+        assert "REP001" in text
+        assert "8 finding(s)" in text
+
+
+class TestDamagedInput:
+    def test_syntax_error_is_rep000_not_crash(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        ok = tmp_path / "fine.py"
+        ok.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+        result = lint_paths(
+            [tmp_path],
+            root=tmp_path,
+            tests_root=tmp_path / "tests",
+            cache_path=None,
+        )
+        rules = sorted(f.rule for f in result.findings)
+        # The broken file reports REP000; the parseable one still gets
+        # its REP001 — one bad module must not mask the rest.
+        assert rules == ["REP000", "REP001"]
+
+    def test_findings_sorted_by_location(self):
+        result = lint_fixture(
+            "determinism_bad.py", "lifecycle_bad.py",
+            rules=["REP001", "REP003"],
+        )
+        keys = [(f.path, f.line, f.col) for f in result.findings]
+        assert keys == sorted(keys)
+
+
+class TestSelection:
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            lint_fixture("determinism_bad.py", rules=["REP999"])
+
+    def test_rule_subset_only_runs_those(self):
+        result = lint_fixture(
+            "determinism_bad.py", "lifecycle_bad.py", rules=["REP003"]
+        )
+        assert {f.rule for f in result.findings} == {"REP003"}
+
+    def test_discovery_skips_caches_and_dedupes(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        real = tmp_path / "mod.py"
+        real.write_text("x = 1\n")
+        files = list(iter_python_files([tmp_path, real, tmp_path]))
+        assert files == [real]

@@ -1,0 +1,77 @@
+"""Registry validation: the same eager posture as the platform registry."""
+
+import pytest
+
+from repro.lint import Checker, all_checks, check_ids, get_check, register_check
+from repro.lint.registry import _CHECKS
+
+
+BUILTIN_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005")
+
+
+class TestBuiltins:
+    def test_all_builtin_rules_registered(self):
+        assert set(BUILTIN_RULES) <= set(check_ids())
+
+    def test_get_check_returns_class(self):
+        cls = get_check("REP001")
+        assert issubclass(cls, Checker)
+        assert cls.rule == "REP001"
+
+    def test_unknown_rule_names_known_ones(self):
+        with pytest.raises(ValueError, match="REP001"):
+            get_check("REP999")
+
+    def test_all_checks_sorted_and_titled(self):
+        checks = all_checks()
+        assert [c.rule for c in checks] == sorted(c.rule for c in checks)
+        assert all(c.title for c in checks)
+
+
+class TestRegistration:
+    def _cleanup(self, rule):
+        _CHECKS.pop(rule, None)
+
+    def test_register_and_collide(self):
+        class Probe(Checker):
+            rule = "REP900"
+            title = "probe"
+
+        try:
+            register_check(Probe)
+            # Re-registering the same class is idempotent…
+            register_check(Probe)
+
+            class Other(Checker):
+                rule = "REP900"
+                title = "other"
+
+            # …but a different class under the same id is a bug.
+            with pytest.raises(ValueError, match="already registered"):
+                register_check(Other)
+        finally:
+            self._cleanup("REP900")
+
+    def test_malformed_rule_id_rejected(self):
+        class Bad(Checker):
+            rule = "NOPE1"
+            title = "bad"
+
+        with pytest.raises(ValueError, match="malformed rule id"):
+            register_check(Bad)
+
+    def test_rep000_reserved(self):
+        class Reserved(Checker):
+            rule = "REP000"
+            title = "reserved"
+
+        with pytest.raises(ValueError, match="reserved"):
+            register_check(Reserved)
+
+    def test_title_required(self):
+        class Untitled(Checker):
+            rule = "REP901"
+            title = ""
+
+        with pytest.raises(ValueError, match="title"):
+            register_check(Untitled)

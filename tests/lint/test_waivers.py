@@ -1,0 +1,121 @@
+"""Waiver parsing and suppression semantics."""
+
+import textwrap
+
+from repro.lint import lint_paths
+from repro.lint.waivers import parse_waivers
+
+
+def _lint_source(tmp_path, source, rules=None):
+    path = tmp_path / "platforms" / "store.py"  # in REP002 scope
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_paths(
+        [path],
+        root=tmp_path,
+        tests_root=tmp_path / "tests",
+        rules=rules,
+        cache_path=None,
+    )
+
+
+class TestParsing:
+    def test_trailing_waiver(self):
+        waivers, problems = parse_waivers(
+            "x = 1  # repro: lint-ok[REP001] fixed token\n"
+        )
+        assert problems == []
+        (waiver,) = waivers
+        assert waiver.rules == ("REP001",)
+        assert waiver.justification == "fixed token"
+        assert not waiver.standalone
+        assert waiver.covers(1) and not waiver.covers(2)
+
+    def test_standalone_covers_next_statement(self):
+        waivers, _ = parse_waivers(
+            "# repro: lint-ok[REP002] why\nx = 1\n"
+        )
+        (waiver,) = waivers
+        assert waiver.standalone
+        assert waiver.covers(1) and waiver.covers(2)
+
+    def test_standalone_skips_continuation_comments(self):
+        source = (
+            "# repro: lint-ok[REP002] a justification long enough\n"
+            "# to wrap onto a second comment line\n"
+            "x = 1\n"
+        )
+        (waiver,), _ = parse_waivers(source)
+        assert waiver.covers(3)
+        assert not waiver.covers(2)
+
+    def test_multiple_rules_one_comment(self):
+        (waiver,), _ = parse_waivers(
+            "# repro: lint-ok[REP001,REP003] both apply\nx = 1\n"
+        )
+        assert waiver.rules == ("REP001", "REP003")
+
+    def test_waiver_inside_string_not_parsed(self):
+        waivers, problems = parse_waivers(
+            's = "# repro: lint-ok[REP001] not a comment"\n'
+        )
+        assert waivers == [] and problems == []
+
+    def test_malformed_waivers_are_problems(self):
+        cases = {
+            "# repro: lint-ok no brackets\n": "malformed waiver",
+            "# repro: lint-ok[] empty\n": "no rule ids",
+            "# repro: lint-ok[BOGUS1] bad id\n": "malformed rule id",
+            "# repro: lint-ok[REP001]\n": "no justification",
+        }
+        for source, needle in cases.items():
+            waivers, problems = parse_waivers(source)
+            assert waivers == [], source
+            (problem,) = problems
+            assert needle in problem.message, source
+
+
+class TestSuppression:
+    SOURCE = """\
+        from pathlib import Path
+
+        def scrub(path: Path) -> bytes:
+            # repro: lint-ok[REP002] reads raw bytes on purpose
+            return path.read_bytes()
+        """
+
+    def test_waived_finding_suppressed_and_counted(self, tmp_path):
+        result = _lint_source(tmp_path, self.SOURCE)
+        assert result.findings == []
+        (waived,) = result.waived
+        assert waived.rule == "REP002"
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        result = _lint_source(
+            tmp_path, self.SOURCE.replace("REP002", "REP001")
+        )
+        assert [f.rule for f in result.findings] == ["REP002"]
+
+    def test_waiver_problem_is_rep000_finding(self, tmp_path):
+        result = _lint_source(
+            tmp_path,
+            self.SOURCE.replace(
+                "[REP002] reads raw bytes on purpose", "[REP002]"
+            ),
+        )
+        rules = [f.rule for f in result.findings]
+        # The malformed waiver no longer suppresses, and is itself
+        # reported alongside the original REP002.
+        assert rules == ["REP000", "REP002"]
+
+    def test_rep000_cannot_be_waived(self, tmp_path):
+        source = """\
+            from pathlib import Path
+
+            # repro: lint-ok[REP000] trying to waive the waiver checker
+            # repro: lint-ok[REP002]
+            def scrub(path: Path) -> bytes:
+                return path.read_bytes()
+            """
+        result = _lint_source(tmp_path, source)
+        assert "REP000" in [f.rule for f in result.findings]

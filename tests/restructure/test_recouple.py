@@ -6,7 +6,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.restructure.backbone import BackbonePartition, select_backbone_konig
 from repro.restructure.matching import maximum_matching
-from repro.restructure.recouple import SUBGRAPH_LABELS, recouple
+from repro.restructure.recouple import (
+    SUBGRAPH_LABELS,
+    _community_schedule,
+    recouple,
+)
 from tests.conftest import build_semantic
 
 
@@ -75,6 +79,31 @@ class TestRecouple:
         sg = make_semantic(7, 7, num_edges=18, seed=6)
         result = _restructure(sg)
         assert result.backbone_size == result.matching.size  # König
+
+
+class TestCommunityScheduleParity:
+    """Differential contract of the ``naive=`` switch itself."""
+
+    def test_naive_matches_vectorized_small(self, make_semantic):
+        sg = make_semantic(12, 12, num_edges=40, seed=7)
+        np.testing.assert_array_equal(
+            _community_schedule(sg, 16, naive=True),
+            _community_schedule(sg, 16, naive=False),
+        )
+
+    def test_naive_matches_vectorized_above_dispatch_threshold(self):
+        # Above 2048 edges the default path is the vectorized engine;
+        # the naive traversal must stay bit-identical there too.
+        rng = np.random.default_rng(11)
+        num_src = num_dst = 80
+        codes = rng.choice(num_src * num_dst, size=3000, replace=False)
+        edges = [(int(c) // num_dst, int(c) % num_dst) for c in codes]
+        sg = build_semantic(num_src, num_dst, edges)
+        assert sg.num_edges >= 2048
+        np.testing.assert_array_equal(
+            _community_schedule(sg, 64, naive=True),
+            _community_schedule(sg, 64, naive=False),
+        )
 
 
 @given(
