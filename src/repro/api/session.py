@@ -274,6 +274,91 @@ class Session:
             result = self._compute(workspace, spec, key)
         return result
 
+    # ------------------------------------------------------------------
+    # Service hooks (used by repro.service; stable but low-level)
+    # ------------------------------------------------------------------
+
+    def cell_content_key(
+        self, key: GridKey, *, spec: ExperimentSpec | None = None
+    ) -> str:
+        """Content key of one grid cell, independent of any store.
+
+        Two submissions map to the same key exactly when they denote
+        the same computation: same grid coordinate, same seed/scale,
+        same *resolved* workload recipe (scenario refs canonicalize
+        before digesting) and same platform configuration. The service
+        registry dedupes in-flight work on this key.
+        """
+        spec = self.spec if spec is None else spec
+        workspace = self._workspace(spec)
+        platform_name, model, dataset = key
+        platform = workspace.runner.platform(platform_name)
+        digest = config_digest(
+            spec.seed,
+            spec.scale,
+            workload_digest(dataset, spec.seed, spec.scale),
+            *platform.digest_sources(),
+            _CELL_SCHEMA,
+        )
+        return config_digest(platform_name, model, dataset, digest)
+
+    def peek_cell(
+        self, key: GridKey, *, spec: ExperimentSpec | None = None
+    ) -> CellResult | None:
+        """Memo or store lookup of one cell; never simulates.
+
+        This is the warm path of the service layer: store hits are
+        served straight from here without touching the job queue.
+        """
+        spec = self.spec if spec is None else spec
+        return self._peek(self._workspace(spec), spec, key)
+
+    def compute_cells(
+        self,
+        cells: list[GridKey],
+        *,
+        spec: ExperimentSpec | None = None,
+        jobs: int | None = None,
+        executor: str | None = None,
+        retry: RetryPolicy | None = None,
+        on_error: str = "collect",
+    ) -> Iterator[tuple[GridKey, CellResult]]:
+        """Compute the given cells, yielding ``(key, result)`` as each
+        completes.
+
+        Unlike :meth:`run_iter` this takes an explicit cell list (the
+        service dispatcher batches cells from *many* client specs that
+        share a workspace), skips the warm peek (the caller already
+        peeked), and yields the grid key next to every result.
+        Artifacts are warmed first and finalization (persist + memo)
+        happens parent-side, so results are bit-identical to
+        :meth:`run` across thread and process backends. Abandoning the
+        generator tears the fan-out down synchronously, exactly like
+        :meth:`run_iter`.
+        """
+        spec = self.spec if spec is None else spec
+        workspace = self._workspace(spec)
+        if not cells:
+            return
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        workspace.runner.warm_artifacts(
+            [dataset for _, _, dataset in cells],
+            jobs=jobs,
+            errors=on_error,
+        )
+        inner = workspace.runner.run_cells(
+            cells,
+            jobs=jobs,
+            executor=self.executor if executor is None else executor,
+            retry=retry,
+            on_error=on_error,
+        )
+        try:
+            for key, outcome in inner:
+                yield key, self._finalize(workspace, spec, key, outcome)
+        finally:
+            inner.close()
+
     def run_iter(
         self,
         spec: ExperimentSpec | None = None,
@@ -345,17 +430,27 @@ class Session:
             # per-cell failures instead of aborting the stream.
             errors=on_error,
         )
-        # run_cells cancels not-yet-started cells when this generator
-        # is abandoned early (consumer breaks), waiting only for the
-        # ones already in flight.
-        for key, outcome in workspace.runner.run_cells(
+        # run_cells cancels not-yet-started cells when its generator is
+        # closed, waiting only for the ones already in flight. A
+        # consumer that abandons *this* generator (a disconnecting
+        # client dropping its stream) raises GeneratorExit at our yield
+        # — the explicit close() in the finally block propagates the
+        # abandonment inward *synchronously*, so pool shutdown happens
+        # here and now rather than whenever the inner generator is
+        # garbage collected (pending futures, executor workers and shm
+        # segments would otherwise outlive the consumer).
+        inner = workspace.runner.run_cells(
             pending,
             jobs=jobs,
             executor=self.executor if executor is None else executor,
             retry=retry,
             on_error=on_error,
-        ):
-            yield emit(self._finalize(workspace, spec, key, outcome))
+        )
+        try:
+            for key, outcome in inner:
+                yield emit(self._finalize(workspace, spec, key, outcome))
+        finally:
+            inner.close()
 
     def run(
         self,

@@ -16,6 +16,10 @@ Commands:
   print backbone/subgraph statistics.
 - ``datasets``  -- print Table 2 style dataset statistics.
 - ``area``      -- print the Fig. 10 area/power breakdown.
+- ``serve``     -- run the simulation service: an asyncio HTTP server
+  streaming grid-cell results as NDJSON, with in-flight dedupe across
+  concurrent clients and graceful drain on SIGTERM (see the README's
+  "Simulation service" section).
 
 Every command accepts ``--format {table,json}``. JSON output is the
 ``to_dict()`` form of the typed result objects in
@@ -178,6 +182,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     area = sub.add_parser("area", help="Fig. 10 area/power breakdown")
     _add_format(area)
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation service (NDJSON over HTTP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 = ephemeral; the resolved "
+                            "port is printed on startup)")
+    serve.add_argument("--jobs", default="auto", metavar="N|auto",
+                       help="grid worker count shared by all clients "
+                            "(default: CPU count)")
+    serve.add_argument("--executor", default="thread",
+                       choices=("thread", "process", "auto"),
+                       help="fan-out backend (results are bit-identical "
+                            "either way)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk artifact store (no warm "
+                            "cells across restarts)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="artifact store directory "
+                            "(default: $REPRO_ARTIFACT_DIR or "
+                            "~/.cache/repro/artifacts)")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       metavar="N",
+                       help="per-client budget of undelivered cells "
+                            "(fairness guard; over-budget submissions "
+                            "get a typed 429)")
 
     from repro.lint.cli import add_lint_arguments
 
@@ -625,6 +657,55 @@ def _cmd_area(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.api import Session
+    from repro.platforms import ArtifactStore
+    from repro.platforms.runner import resolve_jobs
+    from repro.service import ReproServer, SimulationService
+
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError:
+        print(
+            f"error: --jobs must be an integer or 'auto', got {args.jobs!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_queue < 1:
+        print("error: --max-queue must be >= 1", file=sys.stderr)
+        return 2
+    store = None if args.no_cache else ArtifactStore(args.cache_dir)
+    session = Session(store=store, jobs=jobs, executor=args.executor)
+    service = SimulationService(
+        session, max_queue_per_client=args.max_queue
+    )
+    server = ReproServer(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        import threading
+
+        ready = threading.Event()
+        task = asyncio.ensure_future(server.serve(ready=ready))
+        while not ready.is_set():
+            await asyncio.sleep(0.01)
+        print(
+            f"repro service listening on http://{server.host}:{server.port} "
+            f"(jobs={jobs}, executor={args.executor}, "
+            f"store={'off' if store is None else store.root}) "
+            "-- SIGTERM drains gracefully",
+            file=sys.stderr,
+        )
+        await task
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run_lint
 
@@ -641,6 +722,7 @@ _COMMANDS = {
     "restructure": _cmd_restructure,
     "datasets": _cmd_datasets,
     "area": _cmd_area,
+    "serve": _cmd_serve,
 }
 
 

@@ -33,6 +33,12 @@ site                      where
                           is allocated (I/O error → publish fails)
 ``shm.attach``            :class:`AttachedSegment` attach in the worker
                           (I/O error → cell fails, isolation applies)
+``service.accept``        :class:`ReproServer` request handling after the
+                          request parses (error → typed 500, connection
+                          closes, server stays up)
+``service.stream``        before each NDJSON line of a ``/run`` stream
+                          (error → stream aborts mid-flight, the client's
+                          tickets detach, other clients are unaffected)
 ========================  ====================================================
 """
 

@@ -8,6 +8,7 @@ exactly like the platform and scenario registries).
 from __future__ import annotations
 
 from repro.lint.checks import (  # noqa: F401  (registration side effect)
+    async_io,
     determinism,
     fault_sites,
     lifecycle,
@@ -16,6 +17,7 @@ from repro.lint.checks import (  # noqa: F401  (registration side effect)
 )
 
 __all__ = [
+    "async_io",
     "determinism",
     "fault_sites",
     "lifecycle",

@@ -1,0 +1,120 @@
+"""REP006 — no blocking I/O inside ``async def`` in the service layer.
+
+One blocking call on the event loop stalls *every* connected client:
+the health endpoint stops answering, streams stop flushing, and the
+drain watcher never runs — the exact failure mode the service exists
+to avoid. The repo's idiom is to push blocking work (store peeks,
+registry submission, anything that touches a lock or the disk) through
+``loop.run_in_executor`` and keep coroutines to parsing, routing and
+``await``-able writes.
+
+The checker is scoped to ``repro/service/`` modules (the only asyncio
+surface in the repo) and flags calls to a known-blocking set —
+``time.sleep``, ``open``/``io.open``, ``socket.*`` constructors and
+lookups, ``select.select``, ``subprocess.*``, ``os.system``/``os.popen``,
+``urllib.request.urlopen``, ``requests.*`` and the blocking
+``pathlib.Path`` convenience methods (``read_text``/``write_bytes``/…)
+— whose *innermost* enclosing function is an ``async def``. Awaited
+expressions are exempt (``await aiofiles.open(...)`` shapes), as are
+nested synchronous ``def`` helpers: those run wherever the caller
+schedules them, which is the executor idiom this rule exists to
+protect.
+
+False positives (a call the checker cannot see is actually cheap)
+carry a ``# repro: lint-ok[REP006]`` waiver naming why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register_check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import ModuleContext, ProjectContext
+
+__all__ = ["AsyncBlockingCheck"]
+
+#: Alias-resolved call targets that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "open",
+    "io.open",
+    "os.system",
+    "os.popen",
+    "os.waitpid",
+    "socket.socket",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "socket.gethostbyname",
+    "select.select",
+    "urllib.request.urlopen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+}
+
+#: Blocking libraries flagged by prefix (any attribute of them).
+_BLOCKING_PREFIXES = ("requests.",)
+
+#: Method names that are blocking regardless of receiver type — the
+#: ``pathlib.Path`` convenience I/O surface. Receiver types are not
+#: resolvable statically, so the names themselves are the contract.
+_BLOCKING_METHODS = {
+    "read_text",
+    "read_bytes",
+    "write_text",
+    "write_bytes",
+}
+
+
+def _is_awaited(module: "ModuleContext", call: ast.Call) -> bool:
+    return isinstance(module.parents.get(call), ast.Await)
+
+
+def _blocking_reason(module: "ModuleContext", call: ast.Call) -> str | None:
+    resolved = module.resolve_call(call)
+    if resolved is not None:
+        if resolved in _BLOCKING_CALLS:
+            return resolved
+        for prefix in _BLOCKING_PREFIXES:
+            if resolved.startswith(prefix):
+                return resolved
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _BLOCKING_METHODS:
+        return f".{func.attr}()"
+    return None
+
+
+@register_check
+class AsyncBlockingCheck(Checker):
+    rule = "REP006"
+    title = "no blocking I/O on the service event loop"
+    hint = (
+        "run blocking work via loop.run_in_executor (or await an async "
+        "equivalent); the event loop only parses, routes and writes"
+    )
+
+    def run(
+        self, module: "ModuleContext", project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        # Scoped to the asyncio surface: repro/service/ only.
+        if "service" not in module.relpath.split("/"):
+            return
+        for call in module.calls:
+            reason = _blocking_reason(module, call)
+            if reason is None or _is_awaited(module, call):
+                continue
+            func = module.enclosing_function(call)
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            yield self.finding(
+                module,
+                call,
+                f"blocking call {reason} inside async def "
+                f"{func.name}() stalls every connected client",
+            )

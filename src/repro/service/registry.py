@@ -1,0 +1,419 @@
+"""The in-flight job registry: content-keyed dedupe, per-client
+fairness, failure isolation.
+
+The registry is the service's concurrency core, deliberately built as
+a plain synchronous state machine (one :class:`threading.Condition`,
+no asyncio) so the property suite can drive arbitrary interleavings of
+submit/attach/detach/acquire/complete events directly.
+
+Semantics
+---------
+
+**Dedupe.** Jobs are keyed by the cell's *content key*
+(:meth:`Session.cell_content_key` — seed, scale, resolved workload
+recipe, platform configuration). A submission whose key is already
+queued or running *attaches* to the existing job instead of creating a
+second one: the cell is computed exactly once, every attached client
+receives the one result.
+
+**Fairness.** Queued jobs are organized as per-client FIFO queues with
+round-robin acquisition across clients, so a client that dumps a
+thousand cells cannot starve one that submitted a single cell behind
+it. A per-client budget of undelivered cells
+(``max_queue_per_client``) bounds queue depth; submissions over budget
+are rejected with the typed :class:`~repro.service.protocol.QueueFull`.
+
+**Failure isolation** (the PR 6 rule lifted to the service layer):
+a failed execution is delivered only to the job's *owner* — the first
+still-attached client. Every other attached client is re-queued onto a
+fresh job and computes the cell again, so dedupe never serves one
+client's failed or faulted cell to another. Successes are shared;
+failures are private. Each failure terminates at least one waiter, so
+the re-queue chain is bounded by the number of attached clients.
+
+**Drain.** :meth:`JobRegistry.drain` flips the registry into drain
+mode: every queued job is cancelled (its waiters receive a typed
+``draining`` rejection), running jobs finish normally, and new
+submissions raise :class:`~repro.service.protocol.Draining`.
+
+Deliveries are invoked *outside* the registry lock, and a ticket is
+marked delivered under the lock before its callback fires — each
+ticket receives exactly one terminal delivery, with no lost wakeups
+and no delivery after :meth:`detach`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.service.protocol import Draining, QueueFull
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.results import CellResult
+    from repro.api.spec import ExperimentSpec
+
+__all__ = ["Delivery", "Ticket", "JobRegistry", "Job"]
+
+GridKey = tuple[str, str, str]
+
+_QUEUED = "queued"
+_RUNNING = "running"
+_DONE = "done"
+_CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One terminal outcome handed to one client's ticket.
+
+    ``attached`` is True when the result came from an execution this
+    client did not own (a dedupe share) — by the isolation rule above,
+    an attached delivery always carries an ``ok`` result.
+    """
+
+    cell: GridKey
+    kind: str  # "result" | "rejected"
+    result: "CellResult | None"
+    attached: bool
+    code: str | None = None  # rejection code for kind="rejected"
+
+
+@dataclass
+class Ticket:
+    """One client's claim on one submitted cell."""
+
+    client: str
+    cell: GridKey
+    key: str
+    deliver: Callable[[Delivery], None]
+    # Registry-internal; guarded by the registry lock.
+    job: "Job | None" = field(default=None, repr=False)
+    delivered: bool = field(default=False, repr=False)
+
+
+class Job:
+    """One pending execution of one content key (internal)."""
+
+    __slots__ = ("key", "cell", "spec", "waiters", "state", "origin")
+
+    def __init__(
+        self,
+        key: str,
+        cell: GridKey,
+        spec: "ExperimentSpec",
+        waiters: list[Ticket],
+        origin: str,
+    ) -> None:
+        self.key = key
+        self.cell = cell
+        self.spec = spec
+        self.waiters = waiters
+        self.state = _QUEUED
+        #: Client whose FIFO queue holds this job (fairness slot).
+        self.origin = origin
+
+
+class JobRegistry:
+    """Content-keyed in-flight jobs with fair acquisition.
+
+    Args:
+        max_queue_per_client: budget of undelivered cells per client;
+            a submission over budget raises :class:`QueueFull` (the
+            whole request should be rejected, so a greedy client
+            cannot occupy the queue piecemeal).
+    """
+
+    def __init__(self, *, max_queue_per_client: int = 1024) -> None:
+        if max_queue_per_client < 1:
+            raise ValueError(
+                "max_queue_per_client must be >= 1, "
+                f"got {max_queue_per_client}"
+            )
+        self.max_queue_per_client = max_queue_per_client
+        self._cond = threading.Condition()
+        #: Queued + running jobs by content key (dedupe lookup).
+        self._jobs: dict[str, Job] = {}
+        #: Queued jobs per originating client, FIFO.
+        self._queues: dict[str, deque[Job]] = {}
+        #: Clients with a non-empty queue, in round-robin order.
+        self._rotation: deque[str] = deque()
+        #: Undelivered tickets per client (queue-depth budget).
+        self._pending: dict[str, int] = {}
+        self._draining = False
+        self._counters = {
+            "submitted": 0,  # every accepted submission
+            "deduped": 0,  # submissions attached to an in-flight job
+            "executed": 0,  # executions that reached complete()/fail()
+            "failed": 0,  # executions that reached fail()
+            "requeued": 0,  # failure-isolation re-queues
+            "cancelled": 0,  # queued jobs whose last waiter detached
+            "rejected": 0,  # drain rejections + over-budget submissions
+        }
+
+    # ------------------------------------------------------------------
+    # Client side: submit / detach
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        client: str,
+        key: str,
+        cell: GridKey,
+        spec: "ExperimentSpec",
+        deliver: Callable[[Delivery], None],
+    ) -> Ticket:
+        """Queue one cell (or attach to its in-flight job).
+
+        ``deliver`` is invoked exactly once with the terminal
+        :class:`Delivery`, from whatever thread completes the job —
+        callers bridge it into their own event loop.
+        """
+        ticket = Ticket(client=client, cell=cell, key=key, deliver=deliver)
+        with self._cond:
+            if self._draining:
+                self._counters["rejected"] += 1
+                raise Draining("server is draining; resubmit elsewhere")
+            if self._pending.get(client, 0) >= self.max_queue_per_client:
+                self._counters["rejected"] += 1
+                raise QueueFull(
+                    f"client {client!r} has "
+                    f"{self._pending[client]} undelivered cells "
+                    f"(budget {self.max_queue_per_client})"
+                )
+            self._counters["submitted"] += 1
+            job = self._jobs.get(key)
+            if job is not None:
+                if job.cell != cell:
+                    raise RuntimeError(
+                        f"content-key collision: {key} maps to both "
+                        f"{job.cell} and {cell}"
+                    )
+                job.waiters.append(ticket)
+                self._counters["deduped"] += 1
+            else:
+                job = Job(key, cell, spec, [ticket], origin=client)
+                self._jobs[key] = job
+                self._enqueue(job)
+            ticket.job = job
+            self._pending[client] = self._pending.get(client, 0) + 1
+        return ticket
+
+    def detach(self, ticket: Ticket) -> bool:
+        """Withdraw one undelivered ticket (client went away).
+
+        Returns True when the ticket was still live. A queued job whose
+        last waiter detaches is cancelled without ever running; a
+        running job finishes (its result is still memoized by the
+        session) but delivers to no one.
+        """
+        with self._cond:
+            if ticket.delivered:
+                return False
+            self._resolve(ticket)
+            job = ticket.job
+            if job is not None and ticket in job.waiters:
+                job.waiters.remove(ticket)
+                if not job.waiters and job.state == _QUEUED:
+                    job.state = _CANCELLED
+                    self._jobs.pop(job.key, None)
+                    self._counters["cancelled"] += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Dispatcher side: acquire / complete / fail
+    # ------------------------------------------------------------------
+
+    def acquire(self, max_n: int = 1, timeout: float = 0.0) -> list[Job]:
+        """Take up to ``max_n`` queued jobs, round-robin across clients.
+
+        Blocks up to ``timeout`` seconds for the first job; returns
+        ``[]`` on timeout or when draining with an empty queue. The
+        returned jobs are in the ``running`` state and must each reach
+        exactly one of :meth:`complete` / :meth:`fail`.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._cond:
+            while True:
+                batch = self._pop_ready(max_n)
+                if batch:
+                    return batch
+                remaining = deadline - time.monotonic()
+                if self._draining or remaining <= 0:
+                    return []
+                self._cond.wait(remaining)
+
+    def complete(self, job: Job, result: "CellResult") -> None:
+        """Deliver one successful execution to every attached waiter."""
+        with self._cond:
+            job.state = _DONE
+            self._jobs.pop(job.key, None)
+            self._counters["executed"] += 1
+            waiters = [t for t in job.waiters if not t.delivered]
+            for ticket in waiters:
+                self._resolve(ticket)
+        for index, ticket in enumerate(waiters):
+            ticket.deliver(
+                Delivery(job.cell, "result", result, attached=index > 0)
+            )
+
+    def fail(self, job: Job, result: "CellResult") -> None:
+        """Deliver one failed execution to its owner only.
+
+        The remaining waiters are re-queued onto a fresh job (they
+        compute the cell themselves rather than inherit a stranger's
+        failure) — unless the registry is draining, in which case they
+        receive typed ``draining`` rejections.
+        """
+        rejected: list[Ticket] = []
+        with self._cond:
+            job.state = _DONE
+            self._jobs.pop(job.key, None)
+            self._counters["executed"] += 1
+            self._counters["failed"] += 1
+            live = [t for t in job.waiters if not t.delivered]
+            owner = live[0] if live else None
+            rest = live[1:]
+            if owner is not None:
+                self._resolve(owner)
+            if rest:
+                if self._draining:
+                    self._counters["rejected"] += len(rest)
+                    for ticket in rest:
+                        self._resolve(ticket)
+                    rejected = rest
+                else:
+                    requeued = Job(
+                        job.key, job.cell, job.spec, rest, rest[0].client
+                    )
+                    for ticket in rest:
+                        ticket.job = requeued
+                    self._jobs[job.key] = requeued
+                    self._enqueue(requeued)
+                    self._counters["requeued"] += 1
+        if owner is not None:
+            owner.deliver(
+                Delivery(job.cell, "result", result, attached=False)
+            )
+        for ticket in rejected:
+            ticket.deliver(
+                Delivery(
+                    ticket.cell,
+                    "rejected",
+                    None,
+                    attached=False,
+                    code="draining",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Reject queued jobs and all future submissions (idempotent).
+
+        Running jobs are untouched — they finish and deliver normally.
+        """
+        victims: list[Ticket] = []
+        with self._cond:
+            self._draining = True
+            for job in list(self._jobs.values()):
+                if job.state != _QUEUED:
+                    continue
+                job.state = _CANCELLED
+                self._jobs.pop(job.key, None)
+                for ticket in job.waiters:
+                    if not ticket.delivered:
+                        self._resolve(ticket)
+                        victims.append(ticket)
+                self._counters["rejected"] += len(job.waiters)
+            self._queues.clear()
+            self._rotation.clear()
+            self._cond.notify_all()
+        for ticket in victims:
+            ticket.deliver(
+                Delivery(
+                    ticket.cell,
+                    "rejected",
+                    None,
+                    attached=False,
+                    code="draining",
+                )
+            )
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def idle(self) -> bool:
+        """True when no job is queued or running."""
+        with self._cond:
+            return not self._jobs
+
+    def depth(self) -> dict[str, int]:
+        """Live queue shape: queued and running job counts."""
+        with self._cond:
+            queued = sum(
+                1 for job in self._jobs.values() if job.state == _QUEUED
+            )
+            return {"queued": queued, "running": len(self._jobs) - queued}
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot plus live depth (the ``/stats`` payload)."""
+        with self._cond:
+            queued = sum(
+                1 for job in self._jobs.values() if job.state == _QUEUED
+            )
+            snapshot = dict(self._counters)
+        snapshot["queued"] = queued
+        snapshot["running"] = sum(
+            1 for job in self._jobs.values() if job.state == _RUNNING
+        )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+
+    def _resolve(self, ticket: Ticket) -> None:
+        """Mark one ticket terminal and release its budget slot."""
+        ticket.delivered = True
+        client = ticket.client
+        left = self._pending.get(client, 0) - 1
+        if left > 0:
+            self._pending[client] = left
+        else:
+            self._pending.pop(client, None)
+
+    def _enqueue(self, job: Job) -> None:
+        queue = self._queues.get(job.origin)
+        if queue is None:
+            queue = self._queues[job.origin] = deque()
+        queue.append(job)
+        if job.origin not in self._rotation:
+            self._rotation.append(job.origin)
+        self._cond.notify_all()
+
+    def _pop_ready(self, max_n: int) -> list[Job]:
+        batch: list[Job] = []
+        while len(batch) < max_n and self._rotation:
+            client = self._rotation.popleft()
+            queue = self._queues.get(client)
+            job = None
+            while queue and job is None:
+                candidate = queue.popleft()
+                # Cancelled jobs are pruned lazily here.
+                if candidate.state == _QUEUED and candidate.waiters:
+                    job = candidate
+            if job is not None:
+                job.state = _RUNNING
+                batch.append(job)
+            if queue:
+                self._rotation.append(client)
+            else:
+                self._queues.pop(client, None)
+        return batch

@@ -1,0 +1,43 @@
+"""Service-suite fixtures: background servers with guaranteed teardown.
+
+Every test in this package also runs under the PR 7 shared-memory
+leak check (imported autouse fixture) — a service that strands a
+``repro-*`` segment after a stream, a drain or a chaos run is a
+lifecycle bug, exactly like a runner that does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import BackgroundServer, ServiceClient
+
+# Autouse leak check over /dev/shm and tmp repro-*.shm residue.
+from tests.platforms.conftest import no_leaked_segments  # noqa: F401
+# Tiny-but-heterogeneous grid shared with the chaos suite.
+from tests.chaos.conftest import TINY_DATASETS, TINY_MODEL, tiny_spec  # noqa: F401
+
+
+@pytest.fixture
+def launch():
+    """Factory of :class:`BackgroundServer`\\ s, all stopped at teardown.
+
+    ::
+
+        server = launch(jobs=2, store=ArtifactStore(tmp_path))
+        client = ServiceClient(server.host, server.port)
+    """
+    servers: list[BackgroundServer] = []
+
+    def _launch(**kwargs) -> BackgroundServer:
+        server = BackgroundServer(**kwargs).start()
+        servers.append(server)
+        return server
+
+    yield _launch
+    for server in servers:
+        server.stop()
+
+
+def client_for(server: BackgroundServer, **kwargs) -> ServiceClient:
+    return ServiceClient(server.host, server.port, **kwargs)

@@ -1,0 +1,97 @@
+"""Wire-protocol unit tests: envelope shapes, framing, typed errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    BadRequest,
+    Draining,
+    QueueFull,
+    ServiceError,
+    canonical_json,
+    end_envelope,
+    error_body,
+    http_response,
+    http_stream_head,
+    ndjson_line,
+    rejected_envelope,
+    result_envelope,
+)
+
+
+class TestEnvelopes:
+    def test_result_envelope_is_pure_function_of_payload(self):
+        payload = {"platform": "t4", "model": "rgcn", "time_ms": 1.5}
+        a = ndjson_line(result_envelope(payload))
+        b = ndjson_line(result_envelope(dict(payload)))
+        assert a == b
+        assert b"source" not in a  # no provenance by default
+
+    def test_trace_source_is_opt_in(self):
+        envelope = result_envelope({"x": 1}, source="warm")
+        assert envelope["source"] == "warm"
+        assert result_envelope({"x": 1}).keys() == {"event", "cell"}
+
+    def test_canonical_json_sorts_and_compacts(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+    def test_rejected_envelope_carries_cell_and_code(self):
+        envelope = rejected_envelope(
+            ("t4", "rgcn", "acm"), "draining", "server is draining"
+        )
+        assert envelope["event"] == "rejected"
+        assert envelope["cell"] == {
+            "platform": "t4", "model": "rgcn", "dataset": "acm",
+        }
+        assert envelope["error"]["code"] == "draining"
+
+    def test_end_envelope_counters_optional(self):
+        bare = end_envelope(ok=True, cells=3)
+        assert "counters" not in bare
+        traced = end_envelope(ok=False, cells=2, counters={"warm": 2})
+        assert traced["counters"] == {"warm": 2}
+
+
+class TestTypedErrors:
+    @pytest.mark.parametrize(
+        "exc_type,status,code",
+        [
+            (BadRequest, 400, "bad-request"),
+            (QueueFull, 429, "queue-full"),
+            (Draining, 503, "draining"),
+            (ServiceError, 500, "internal"),
+        ],
+    )
+    def test_status_and_code(self, exc_type, status, code):
+        exc = exc_type("boom")
+        assert exc.http_status == status
+        assert exc.code == code
+        assert exc.body() == error_body(code, "boom")
+        assert isinstance(exc, ServiceError)
+
+
+class TestHttpFraming:
+    def test_response_has_content_length_and_closes(self):
+        raw = http_response(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Connection: close" in head
+        length = int(
+            [
+                line.split(b":")[1]
+                for line in head.split(b"\r\n")
+                if line.lower().startswith(b"content-length")
+            ][0]
+        )
+        assert length == len(body)
+        assert json.loads(body) == {"ok": True}
+
+    def test_stream_head_is_close_delimited_ndjson(self):
+        head = http_stream_head()
+        assert b"application/x-ndjson" in head
+        assert b"Content-Length" not in head
+        assert b"Connection: close" in head
+        assert head.endswith(b"\r\n\r\n")

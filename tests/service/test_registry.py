@@ -1,0 +1,382 @@
+"""JobRegistry concurrency semantics: dedupe, fairness, isolation.
+
+The hypothesis schedule test drives the registry through arbitrary
+interleavings of submit/attach/detach/acquire/complete/fail/drain
+events and asserts the contract directly:
+
+- exactly-once execution per content key (never two in-flight jobs for
+  one key);
+- every accepted ticket reaches exactly one terminal outcome
+  (delivery or detach) — no lost wakeups, no double delivery;
+- an *attached* delivery (a dedupe share) is never a failure — one
+  client's failed cell is never served to another.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.results import CellResult
+from repro.platforms.failures import CellFailure
+from repro.service.protocol import Draining, QueueFull
+from repro.service.registry import JobRegistry
+
+SPEC = object()  # the registry treats specs as opaque
+
+
+def _cell(k: int) -> tuple[str, str, str]:
+    return ("t4", "rgcn", f"d{k}")
+
+
+def _ok(cell) -> CellResult:
+    return CellResult(
+        platform=cell[0],
+        model=cell[1],
+        dataset=cell[2],
+        time_ms=1.0,
+        dram_accesses=3,
+        dram_bytes=12,
+        bandwidth_utilization=0.5,
+    )
+
+
+def _failed(cell) -> CellResult:
+    return CellResult.from_failure(
+        CellFailure.from_exception(cell, ValueError("chaos"))
+    )
+
+
+class Recorder:
+    """Collects deliveries per ticket."""
+
+    def __init__(self):
+        self.by_ticket: dict[int, list] = {}
+
+    def deliver_for(self, ticket_id: int):
+        slot = self.by_ticket.setdefault(ticket_id, [])
+        return slot.append
+
+
+class TestDedupe:
+    def test_second_submission_attaches(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        t1 = reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        t2 = reg.submit("b", "k1", _cell(1), SPEC, rec.deliver_for(2))
+        assert t1.job is t2.job
+        (job,) = reg.acquire(5)
+        assert reg.acquire(5) == []  # the key is in flight exactly once
+        reg.complete(job, _ok(_cell(1)))
+        (d1,) = rec.by_ticket[1]
+        (d2,) = rec.by_ticket[2]
+        assert d1.result == d2.result
+        assert not d1.attached and d2.attached
+        stats = reg.stats()
+        assert stats["submitted"] == 2
+        assert stats["deduped"] == 1
+        assert stats["executed"] == 1
+        assert reg.idle()
+
+    def test_attach_to_running_job(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        (job,) = reg.acquire(1)
+        reg.submit("b", "k1", _cell(1), SPEC, rec.deliver_for(2))
+        reg.complete(job, _ok(_cell(1)))
+        assert len(rec.by_ticket[1]) == 1
+        assert len(rec.by_ticket[2]) == 1
+        assert rec.by_ticket[2][0].attached
+
+    def test_key_collision_detected(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        with pytest.raises(RuntimeError, match="collision"):
+            reg.submit("b", "k1", _cell(2), SPEC, rec.deliver_for(2))
+
+
+class TestFailureIsolation:
+    def test_failure_delivered_to_owner_only_rest_requeued(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        reg.submit("b", "k1", _cell(1), SPEC, rec.deliver_for(2))
+        reg.submit("c", "k1", _cell(1), SPEC, rec.deliver_for(3))
+        (job,) = reg.acquire(1)
+        reg.fail(job, _failed(_cell(1)))
+        # Owner got the failure; b and c are back in the queue.
+        (d1,) = rec.by_ticket[1]
+        assert d1.result.status == "failed"
+        assert not d1.attached
+        assert rec.by_ticket.get(2, []) == []
+        assert rec.by_ticket.get(3, []) == []
+        assert reg.stats()["requeued"] == 1
+        # The requeued job succeeds for the survivors.
+        (retry,) = reg.acquire(1)
+        assert retry.key == "k1"
+        reg.complete(retry, _ok(_cell(1)))
+        (d2,) = rec.by_ticket[2]
+        (d3,) = rec.by_ticket[3]
+        assert d2.result.ok and d3.result.ok
+        assert not d2.attached and d3.attached
+        assert reg.idle()
+
+    def test_failure_with_single_waiter_terminates(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        (job,) = reg.acquire(1)
+        reg.fail(job, _failed(_cell(1)))
+        assert reg.idle()
+        assert reg.stats()["requeued"] == 0
+
+
+class TestDetach:
+    def test_last_detach_cancels_queued_job(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        ticket = reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        assert reg.detach(ticket)
+        assert reg.idle()
+        assert reg.stats()["cancelled"] == 1
+        assert reg.acquire(1) == []
+        # Idempotent, and delivery never happens.
+        assert not reg.detach(ticket)
+        assert rec.by_ticket.get(1, []) == []
+
+    def test_detach_of_one_waiter_keeps_job_alive(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        t1 = reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        reg.submit("b", "k1", _cell(1), SPEC, rec.deliver_for(2))
+        reg.detach(t1)
+        (job,) = reg.acquire(1)
+        reg.complete(job, _ok(_cell(1)))
+        assert rec.by_ticket.get(1, []) == []
+        (d2,) = rec.by_ticket[2]
+        # b became the sole (owning) waiter.
+        assert not d2.attached
+
+    def test_detach_of_running_job_suppresses_delivery(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        ticket = reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        (job,) = reg.acquire(1)
+        reg.detach(ticket)
+        reg.complete(job, _ok(_cell(1)))  # result discarded, no crash
+        assert rec.by_ticket.get(1, []) == []
+        assert reg.idle()
+
+
+class TestFairness:
+    def test_round_robin_across_clients(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        for k in (1, 2, 3, 4):
+            reg.submit("a", f"k{k}", _cell(k), SPEC, rec.deliver_for(k))
+        reg.submit("b", "k5", _cell(5), SPEC, rec.deliver_for(5))
+        batch = reg.acquire(10)
+        # b's single cell is not starved behind a's backlog.
+        assert [job.key for job in batch] == ["k1", "k5", "k2", "k3", "k4"]
+        for job in batch:
+            reg.complete(job, _ok(job.cell))
+
+    def test_queue_budget_rejects_greedy_client(self):
+        reg = JobRegistry(max_queue_per_client=2)
+        rec = Recorder()
+        reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        reg.submit("a", "k2", _cell(2), SPEC, rec.deliver_for(2))
+        with pytest.raises(QueueFull):
+            reg.submit("a", "k3", _cell(3), SPEC, rec.deliver_for(3))
+        # Another client still has budget.
+        reg.submit("b", "k3", _cell(3), SPEC, rec.deliver_for(4))
+        assert reg.stats()["rejected"] == 1
+
+    def test_budget_slot_released_on_delivery(self):
+        reg = JobRegistry(max_queue_per_client=1)
+        rec = Recorder()
+        reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        (job,) = reg.acquire(1)
+        reg.complete(job, _ok(_cell(1)))
+        # Delivered → the slot is free again.
+        reg.submit("a", "k2", _cell(2), SPEC, rec.deliver_for(2))
+
+
+class TestDrain:
+    def test_drain_rejects_queued_and_future_submissions(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        reg.drain()
+        (delivery,) = rec.by_ticket[1]
+        assert delivery.kind == "rejected"
+        assert delivery.code == "draining"
+        with pytest.raises(Draining):
+            reg.submit("a", "k2", _cell(2), SPEC, rec.deliver_for(2))
+        assert reg.idle()
+
+    def test_running_jobs_finish_through_drain(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        (job,) = reg.acquire(1)
+        reg.drain()
+        reg.complete(job, _ok(_cell(1)))
+        (delivery,) = rec.by_ticket[1]
+        assert delivery.kind == "result"
+        assert delivery.result.ok
+
+    def test_failure_during_drain_rejects_other_waiters(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        reg.submit("b", "k1", _cell(1), SPEC, rec.deliver_for(2))
+        (job,) = reg.acquire(1)
+        reg.drain()
+        reg.fail(job, _failed(_cell(1)))
+        (d1,) = rec.by_ticket[1]
+        (d2,) = rec.by_ticket[2]
+        assert d1.kind == "result" and d1.result.status == "failed"
+        assert d2.kind == "rejected" and d2.code == "draining"
+        assert reg.idle()
+
+
+class TestWakeups:
+    def test_blocking_acquire_wakes_on_submit(self):
+        reg = JobRegistry()
+        rec = Recorder()
+        got: list = []
+
+        def consume():
+            got.extend(reg.acquire(1, timeout=10.0))
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        reg.submit("a", "k1", _cell(1), SPEC, rec.deliver_for(1))
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert [job.key for job in got] == ["k1"]
+        reg.complete(got[0], _ok(_cell(1)))
+
+    def test_blocking_acquire_wakes_on_drain(self):
+        reg = JobRegistry()
+        done = threading.Event()
+
+        def consume():
+            assert reg.acquire(1, timeout=30.0) == []
+            done.set()
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        reg.drain()
+        assert done.wait(timeout=10.0)
+        thread.join(timeout=10.0)
+
+
+SCHEDULE_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    database=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@given(data=st.data())
+@SCHEDULE_SETTINGS
+def test_schedule_invariants(data):
+    """Arbitrary interleavings preserve the registry contract."""
+    reg = JobRegistry(max_queue_per_client=4)
+    rec = Recorder()
+    tickets: dict[int, object] = {}
+    detached: set[int] = set()
+    rejected_submits = 0
+    running: list = []
+    executions: list[str] = []
+    next_id = 0
+
+    ops = data.draw(
+        st.lists(
+            st.sampled_from(
+                ["submit", "detach", "acquire", "complete", "fail", "drain"]
+            ),
+            min_size=5,
+            max_size=50,
+        )
+    )
+    for op in ops:
+        if op == "submit":
+            client = data.draw(st.sampled_from(["a", "b", "c"]))
+            k = data.draw(st.integers(min_value=0, max_value=3))
+            next_id += 1
+            try:
+                tickets[next_id] = reg.submit(
+                    client, f"k{k}", _cell(k), SPEC, rec.deliver_for(next_id)
+                )
+            except (Draining, QueueFull):
+                rejected_submits += 1
+                del rec.by_ticket[next_id]
+        elif op == "detach" and tickets:
+            tid = data.draw(st.sampled_from(sorted(tickets)))
+            if reg.detach(tickets[tid]):
+                if not rec.by_ticket.get(tid):
+                    detached.add(tid)
+        elif op == "acquire":
+            for job in reg.acquire(data.draw(st.integers(1, 3))):
+                # Exactly-once: a key never runs twice concurrently.
+                assert job.key not in {j.key for j in running}
+                running.append(job)
+        elif op == "complete" and running:
+            job = running.pop(0)
+            executions.append(job.key)
+            reg.complete(job, _ok(job.cell))
+        elif op == "fail" and running:
+            job = running.pop(0)
+            executions.append(job.key)
+            reg.fail(job, _failed(job.cell))
+        elif op == "drain":
+            reg.drain()
+
+    # Settle: finish running jobs, then drain away anything queued.
+    for job in running:
+        executions.append(job.key)
+        reg.complete(job, _ok(job.cell))
+    reg.drain()
+    while True:
+        leftovers = reg.acquire(10)
+        if not leftovers:
+            break
+        for job in leftovers:  # pragma: no cover - drain precludes this
+            executions.append(job.key)
+            reg.complete(job, _ok(job.cell))
+    assert reg.idle()
+
+    delivered_total = 0
+    for tid in tickets:
+        deliveries = rec.by_ticket.get(tid, [])
+        # Exactly one terminal outcome per accepted ticket: a single
+        # delivery, or a detach that preempted delivery.
+        assert len(deliveries) <= 1
+        if tid in detached:
+            assert deliveries == []
+        else:
+            assert len(deliveries) == 1, f"lost wakeup for ticket {tid}"
+            (delivery,) = deliveries
+            delivered_total += 1
+            if delivery.attached:
+                # A dedupe share is never a failure.
+                assert delivery.kind == "result"
+                assert delivery.result.ok
+            if delivery.kind == "rejected":
+                assert delivery.code == "draining"
+
+    stats = reg.stats()
+    assert stats["submitted"] == len(tickets)
+    assert stats["executed"] == len(executions)
+    assert stats["rejected"] >= rejected_submits
+    assert delivered_total + len(detached) == len(tickets)
