@@ -1,0 +1,65 @@
+"""Shared on-disk cache file for cross-file lint indexes.
+
+Two analyses persist per-file state between runs: the test-reference
+index (:mod:`repro.lint.refs`) and the project call graph
+(:mod:`repro.lint.callgraph`). Both key their entries by
+``(mtime_ns, size)`` and both want to live in the same gitignored
+``.repro-lint-cache.json`` so CI persists one artifact. This module
+owns the envelope: a versioned JSON document with one named section
+per analysis, loaded and saved independently so the refs index does
+not invalidate the call graph or vice versa.
+
+The cache is a pure accelerator. Any read failure — missing file,
+bad JSON, wrong version — degrades to an empty section and a rebuild;
+any write failure costs one re-parse on the next run, nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CACHE_VERSION", "load_section", "save_section"]
+
+#: Envelope version; bump when the section layout itself changes.
+#: (Section *contents* carry their own versions — ``refs`` bumps on
+#: identifier-extraction changes, ``callgraph`` on summary-schema
+#: changes — so one analysis evolving does not flush the other.)
+CACHE_VERSION = 2
+
+
+def _read_document(cache_path: Path) -> dict[str, Any]:
+    try:
+        raw = json.loads(cache_path.read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(raw, dict) or raw.get("version") != CACHE_VERSION:
+        # Includes the pre-section v1 layout ({"version": 1, "files":
+        # {...}}): treated as cold, rebuilt into the new envelope.
+        return {}
+    return raw
+
+
+def load_section(cache_path: Path | None, section: str) -> dict[str, Any]:
+    """The named section of the cache document, ``{}`` when cold."""
+    if cache_path is None:
+        return {}
+    value = _read_document(cache_path).get(section)
+    return value if isinstance(value, dict) else {}
+
+
+def save_section(
+    cache_path: Path | None, section: str, payload: dict[str, Any]
+) -> None:
+    """Rewrite one section, preserving every other section verbatim."""
+    if cache_path is None:
+        return
+    document = _read_document(cache_path)
+    document["version"] = CACHE_VERSION
+    document[section] = payload
+    try:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        cache_path.write_text(json.dumps(document, sort_keys=True))
+    except OSError:
+        return

@@ -1,0 +1,593 @@
+"""Project-wide call graph and interprocedural concurrency facts.
+
+:class:`ProjectGraph` stitches the per-module flow summaries
+(:mod:`repro.lint.flow`) into one graph over *qualnames* —
+``<module>:<symbol>`` strings such as
+``repro.service.registry:JobRegistry.submit`` — and answers the
+questions the concurrency rules ask:
+
+* **edges** — who calls whom, resolved through import aliases,
+  ``self.method`` dispatch, nested-function scoping and one-hop-or-more
+  attribute-type chains (``self.registry.detach`` follows the
+  ``self.registry = JobRegistry(...)`` constructor assignment);
+* **contexts** — which execution contexts can reach each function:
+  ``loop`` (async defs and loop-scheduled callbacks), ``thread``
+  (``Thread(target=...)`` roots), ``worker`` (executor-submitted
+  callables), propagated breadth-first along call edges (propagation
+  does not cross into ``async def`` callees — calling a coroutine
+  function from sync code only *creates* the coroutine);
+* **held locks** — two interprocedural fixed points over the per-site
+  held sets: :meth:`inherited_any` (union over call paths — "some
+  caller holds L when f runs", feeding lock-order edges and
+  double-acquire detection) and :meth:`inherited_all` (intersection —
+  "every path into f holds L", feeding the shared-state rule so
+  helpers documented as call-with-lock-held are not false positives);
+* **blocking closure** — which sync functions transitively reach a
+  known-blocking call (REP009).
+
+Graphs are expensive to build (a full AST walk per file), so summaries
+are cached in the ``callgraph`` section of the shared cache file keyed
+by ``(mtime_ns, size)`` — the same invalidation discipline as the
+test-reference index. The ``built``/``reused`` counters surface
+through ``repro lint --stats`` and are asserted warm in CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.lint.cache import load_section, save_section
+from repro.lint.context import ModuleContext
+from repro.lint.flow import (
+    SUMMARY_VERSION,
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    LockAcquire,
+    ModuleSummary,
+    summarize_module,
+)
+
+__all__ = ["ProjectGraph", "build_graph", "qualname"]
+
+#: Execution-context labels, in display order.
+_CONTEXTS = ("loop", "thread", "worker")
+
+
+def qualname(modname: str, symbol: str) -> str:
+    """Graph node id: ``repro.service.registry:JobRegistry.submit``."""
+    return f"{modname}:{symbol}"
+
+
+class ProjectGraph:
+    """Resolved call graph over one lint run's module set."""
+
+    def __init__(self, summaries: Mapping[str, ModuleSummary]) -> None:
+        #: relpath → summary, as built/loaded.
+        self.summaries: dict[str, ModuleSummary] = dict(summaries)
+        self.by_modname: dict[str, ModuleSummary] = {
+            summary.modname: summary for summary in self.summaries.values()
+        }
+        #: qualname → (summary, function info).
+        self.functions: dict[str, tuple[ModuleSummary, FunctionInfo]] = {}
+        for summary in self.summaries.values():
+            for symbol, info in summary.functions.items():
+                self.functions[qualname(summary.modname, symbol)] = (
+                    summary,
+                    info,
+                )
+        self._edges: dict[str, list[tuple[str, CallSite]]] | None = None
+        self._callers: dict[str, list[tuple[str, CallSite]]] | None = None
+        self._contexts: dict[str, frozenset[str]] | None = None
+        self._inherited_any: dict[str, frozenset[str]] | None = None
+        self._inherited_all: dict[str, frozenset[str]] | None = None
+        self._root_refs: dict[str, set[str]] | None = None
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+
+    def _class_of(self, summary: ModuleSummary, name: str) -> tuple[ModuleSummary, ClassInfo] | None:
+        """Resolve a class name (local or alias-resolved dotted)."""
+        if name in summary.classes:
+            return summary, summary.classes[name]
+        dotted = summary.imports.get(name, name)
+        modname, _, classname = dotted.rpartition(".")
+        other = self.by_modname.get(modname)
+        if other is not None and classname in other.classes:
+            return other, other.classes[classname]
+        return None
+
+    def _resolve_absolute(self, dotted: str) -> str | None:
+        """Resolve an absolute dotted path to a known function qualname."""
+        parts = dotted.split(".")
+        # Longest module prefix wins: repro.service.registry.JobRegistry
+        # .submit → module repro.service.registry, symbol the rest.
+        for split in range(len(parts) - 1, 0, -1):
+            modname = ".".join(parts[:split])
+            summary = self.by_modname.get(modname)
+            if summary is None:
+                continue
+            symbol = ".".join(parts[split:])
+            if symbol in summary.functions:
+                return qualname(modname, symbol)
+            # Constructor call: Class → Class.__init__ when present.
+            if symbol in summary.classes:
+                init = f"{symbol}.__init__"
+                if init in summary.functions:
+                    return qualname(modname, init)
+            return None
+        return None
+
+    def resolve(
+        self, summary: ModuleSummary, caller_symbol: str, raw: str
+    ) -> str | None:
+        """Resolve one raw call target to a function qualname, or None.
+
+        Handles ``self.method``, ``self.attr(.attr)*.method`` via
+        constructor-assigned attribute types, bare names through the
+        nested-function scope chain and import aliases, and dotted
+        names through aliases to absolute module paths.
+        """
+        if raw.startswith("self."):
+            parts = raw.split(".")[1:]
+            class_name = caller_symbol.split(".", 1)[0]
+            if class_name not in summary.classes:
+                return None
+            here: tuple[ModuleSummary, ClassInfo] = (
+                summary,
+                summary.classes[class_name],
+            )
+            for attr in parts[:-1]:
+                ctor = here[1].attr_types.get(attr)
+                if ctor is None:
+                    return None
+                resolved_cls = self.resolve_class(here[0], ctor)
+                if resolved_cls is None:
+                    return None
+                here = resolved_cls
+            method = parts[-1]
+            owner_summary, owner = here
+            if method in owner.methods:
+                return qualname(
+                    owner_summary.modname, f"{owner.name}.{method}"
+                )
+            return None
+        head = raw.split(".", 1)[0]
+        if head in summary.imports or "." in raw:
+            dotted = raw
+            origin = summary.imports.get(head)
+            if origin is not None:
+                rest = raw[len(head):]
+                dotted = f"{origin}{rest}"
+            return self._resolve_absolute(dotted)
+        # Bare local name: walk the enclosing-scope chain (nested defs
+        # see their siblings), then module scope.
+        scope_parts = caller_symbol.split(".")
+        for depth in range(len(scope_parts), -1, -1):
+            candidate = ".".join(scope_parts[:depth] + [raw])
+            if candidate != caller_symbol and candidate in summary.functions:
+                return qualname(summary.modname, candidate)
+        if raw in summary.classes:
+            init = f"{raw}.__init__"
+            if init in summary.functions:
+                return qualname(summary.modname, init)
+        return None
+
+    def resolve_class(
+        self, summary: ModuleSummary, ctor: str
+    ) -> tuple[ModuleSummary, ClassInfo] | None:
+        """Map a constructor dotted name to the class it instantiates."""
+        if ctor in summary.classes:
+            return summary, summary.classes[ctor]
+        modname, _, classname = ctor.rpartition(".")
+        other = self.by_modname.get(modname)
+        if other is not None and classname in other.classes:
+            return other, other.classes[classname]
+        # Single-segment alias (from x import Cls) already resolved in
+        # imports at summary time; nothing else to try.
+        return None
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def edges(self) -> dict[str, list[tuple[str, CallSite]]]:
+        """caller qualname → [(callee qualname, call site), …]."""
+        if self._edges is None:
+            edges: dict[str, list[tuple[str, CallSite]]] = {}
+            for name, (summary, info) in self.functions.items():
+                out: list[tuple[str, CallSite]] = []
+                for site in info.calls:
+                    target = self.resolve(summary, info.symbol, site.callee)
+                    if target is not None:
+                        out.append((target, site))
+                edges[name] = out
+            self._edges = edges
+        return self._edges
+
+    def callers(self) -> dict[str, list[tuple[str, CallSite]]]:
+        """callee qualname → [(caller qualname, call site), …]."""
+        if self._callers is None:
+            callers: dict[str, list[tuple[str, CallSite]]] = {
+                name: [] for name in self.functions
+            }
+            for caller, out in self.edges().items():
+                for callee, site in out:
+                    callers[callee].append((caller, site))
+            self._callers = callers
+        return self._callers
+
+    def edge_count(self) -> int:
+        return sum(len(out) for out in self.edges().values())
+
+    # ------------------------------------------------------------------
+    # Execution contexts
+    # ------------------------------------------------------------------
+
+    def _scheduled_roots(self) -> dict[str, set[str]]:
+        """context label → set of root qualnames."""
+        if self._root_refs is None:
+            roots: dict[str, set[str]] = {label: set() for label in _CONTEXTS}
+            for name, (summary, info) in self.functions.items():
+                if info.is_async:
+                    roots["loop"].add(name)
+                for ref in info.refs:
+                    target = self.resolve(summary, info.symbol, ref.target)
+                    if target is not None and ref.context in roots:
+                        roots[ref.context].add(target)
+            self._root_refs = roots
+        return self._root_refs
+
+    def contexts(self) -> dict[str, frozenset[str]]:
+        """qualname → set of context labels that can reach it.
+
+        Empty set = only ever called synchronously from unlabeled code
+        (the main thread as far as the graph can tell).
+        """
+        if self._contexts is None:
+            labels: dict[str, set[str]] = {name: set() for name in self.functions}
+            edges = self.edges()
+            for context, roots in self._scheduled_roots().items():
+                frontier = list(roots)
+                for name in frontier:
+                    if name in labels:
+                        labels[name].add(context)
+                seen = set(frontier)
+                while frontier:
+                    current = frontier.pop()
+                    for callee, _site in edges.get(current, ()):  # BFS-ish
+                        info = self.functions[callee][1]
+                        if info.is_async:
+                            # Sync code calling an async def only builds
+                            # the coroutine object; the body runs on the
+                            # loop regardless of the caller's context.
+                            continue
+                        if callee not in seen:
+                            seen.add(callee)
+                            labels[callee].add(context)
+                            frontier.append(callee)
+            self._contexts = {
+                name: frozenset(value) for name, value in labels.items()
+            }
+        return self._contexts
+
+    # ------------------------------------------------------------------
+    # Interprocedural held-lock sets
+    # ------------------------------------------------------------------
+
+    def _entry_sites(self, name: str) -> list[tuple[str, tuple[str, ...]]]:
+        """(caller, held-at-entry) pairs; scheduled roots enter lock-free."""
+        sites = [
+            (caller, site.held) for caller, site in self.callers().get(name, ())
+        ]
+        for roots in self._scheduled_roots().values():
+            if name in roots:
+                sites.append(("<root>", ()))
+        return sites
+
+    def inherited_any(self) -> dict[str, frozenset[str]]:
+        """Locks held on *at least one* path into each function."""
+        if self._inherited_any is None:
+            inherited: dict[str, frozenset[str]] = {
+                name: frozenset() for name in self.functions
+            }
+            changed = True
+            rounds = 0
+            while changed and rounds < len(self.functions) + 2:
+                changed = False
+                rounds += 1
+                for name in self.functions:
+                    union: set[str] = set(inherited[name])
+                    for caller, held in self._entry_sites(name):
+                        union.update(held)
+                        if caller != "<root>":
+                            union.update(inherited.get(caller, frozenset()))
+                    frozen = frozenset(union)
+                    if frozen != inherited[name]:
+                        inherited[name] = frozen
+                        changed = True
+            self._inherited_any = inherited
+        return self._inherited_any
+
+    def inherited_all(self) -> dict[str, frozenset[str]]:
+        """Locks held on *every* path into each function.
+
+        Functions with no known entry (public API, never referenced)
+        conservatively inherit nothing.
+        """
+        if self._inherited_all is None:
+            inherited: dict[str, frozenset[str] | None] = {
+                name: None for name in self.functions  # None = unknown/top
+            }
+            changed = True
+            rounds = 0
+            while changed and rounds < len(self.functions) + 2:
+                changed = False
+                rounds += 1
+                for name in self.functions:
+                    sites = self._entry_sites(name)
+                    if not sites:
+                        value: frozenset[str] | None = frozenset()
+                    else:
+                        value = None
+                        for caller, held in sites:
+                            caller_inh = (
+                                frozenset()
+                                if caller == "<root>"
+                                else inherited.get(caller)
+                            )
+                            if caller_inh is None:
+                                continue  # top: identity for intersection
+                            entry = frozenset(held) | caller_inh
+                            value = (
+                                entry if value is None else value & entry
+                            )
+                    if value != inherited[name]:
+                        inherited[name] = value
+                        changed = True
+            self._inherited_all = {
+                name: (value if value is not None else frozenset())
+                for name, value in inherited.items()
+            }
+        return self._inherited_all
+
+    def effective_held_any(
+        self, name: str, held: Iterable[str]
+    ) -> frozenset[str]:
+        """Site-held ∪ locks held on some path into the function."""
+        return frozenset(held) | self.inherited_any().get(name, frozenset())
+
+    def effective_held_all(
+        self, name: str, held: Iterable[str]
+    ) -> frozenset[str]:
+        """Site-held ∪ locks held on every path into the function."""
+        return frozenset(held) | self.inherited_all().get(name, frozenset())
+
+    # ------------------------------------------------------------------
+    # Lock-order graph
+    # ------------------------------------------------------------------
+
+    def lock_order_edges(
+        self,
+    ) -> dict[tuple[str, str], tuple[str, LockAcquire]]:
+        """(outer, inner) → (acquiring qualname, acquisition site).
+
+        One representative site per ordered pair, chosen
+        deterministically (first in sorted qualname order).
+        """
+        edges: dict[tuple[str, str], tuple[str, LockAcquire]] = {}
+        for name in sorted(self.functions):
+            info = self.functions[name][1]
+            for acquire in info.acquires:
+                for outer in sorted(
+                    self.effective_held_any(name, acquire.held)
+                ):
+                    if outer == acquire.token:
+                        continue  # re-acquire: handled as double-acquire
+                    edges.setdefault(
+                        (outer, acquire.token), (name, acquire)
+                    )
+        return edges
+
+    def lock_cycles(
+        self,
+    ) -> list[tuple[tuple[str, ...], str, LockAcquire]]:
+        """Cycles in the lock-order graph.
+
+        Returns one entry per strongly connected component with ≥2
+        locks: (sorted lock tokens, representative qualname,
+        representative acquisition site).
+        """
+        order_edges = self.lock_order_edges()
+        adjacency: dict[str, set[str]] = {}
+        for outer, inner in order_edges:
+            adjacency.setdefault(outer, set()).add(inner)
+            adjacency.setdefault(inner, set())
+        components = _tarjan_scc(adjacency)
+        cycles: list[tuple[tuple[str, ...], str, LockAcquire]] = []
+        for component in components:
+            if len(component) < 2:
+                continue
+            tokens = tuple(sorted(component))
+            member = set(component)
+            representative = min(
+                (
+                    (pair, site)
+                    for pair, site in order_edges.items()
+                    if pair[0] in member and pair[1] in member
+                ),
+                key=lambda item: item[0],
+            )
+            cycles.append((tokens, representative[1][0], representative[1][1]))
+        cycles.sort(key=lambda item: item[0])
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Blocking closure (REP009)
+    # ------------------------------------------------------------------
+
+    def blocking_closure(
+        self, is_blocking: Any
+    ) -> dict[str, tuple[str, tuple[str, ...]]]:
+        """qualname → (blocking reason, call chain of qualnames).
+
+        ``is_blocking(resolved_callee, site)`` classifies raw call
+        targets; propagation follows resolved edges from sync function
+        to sync function (an ``await``-ed call never blocks the loop,
+        and a call *into* an async def just builds a coroutine).
+        """
+        edges = self.edges()
+        memo: dict[str, tuple[str, tuple[str, ...]] | None] = {}
+
+        def visit(name: str, stack: frozenset[str]) -> tuple[str, tuple[str, ...]] | None:
+            if name in memo:
+                return memo[name]
+            if name in stack:
+                return None  # recursion: no verdict along this path
+            summary, info = self.functions[name]
+            for site in info.calls:
+                if site.awaited:
+                    continue
+                reason = is_blocking(site.callee, site)
+                if reason is not None:
+                    memo[name] = (reason, (name,))
+                    return memo[name]
+            for callee, site in edges.get(name, ()):  # transitive step
+                if site.awaited:
+                    continue
+                if self.functions[callee][1].is_async:
+                    continue
+                deeper = visit(callee, stack | {name})
+                if deeper is not None:
+                    memo[name] = (deeper[0], (name,) + deeper[1])
+                    return memo[name]
+            memo[name] = None
+            return None
+
+        result: dict[str, tuple[str, tuple[str, ...]]] = {}
+        for name in sorted(self.functions):
+            verdict = visit(name, frozenset())
+            if verdict is not None:
+                result[name] = verdict
+        return result
+
+
+def _tarjan_scc(adjacency: dict[str, set[str]]) -> list[list[str]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = [0]
+
+    for start in sorted(adjacency):
+        if start in index:
+            continue
+        work: list[tuple[str, Iterable[str]]] = [
+            (start, iter(sorted(adjacency[start])))
+        ]
+        index[start] = lowlink[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(adjacency[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+# ----------------------------------------------------------------------
+# Cache-aware construction
+# ----------------------------------------------------------------------
+
+
+def build_graph(
+    modules: Iterable[ModuleContext],
+    *,
+    cache_path: Path | None = None,
+    stats: dict[str, int] | None = None,
+) -> ProjectGraph:
+    """Summarize every module (cache-first) and assemble the graph.
+
+    ``stats`` (when given) receives ``callgraph_files`` /
+    ``callgraph_built`` / ``callgraph_reused`` counters — the warm-run
+    CI assertion reads these through ``repro lint --stats``.
+    """
+    section = load_section(cache_path, "callgraph")
+    cached_files = (
+        section.get("files") if section.get("version") == SUMMARY_VERSION else None
+    )
+    if not isinstance(cached_files, dict):
+        cached_files = {}
+
+    fresh: dict[str, Any] = {}
+    summaries: dict[str, ModuleSummary] = {}
+    built = reused = 0
+    for module in sorted(modules, key=lambda m: m.relpath):
+        try:
+            stat = module.path.stat()
+            key_mtime, key_size = stat.st_mtime_ns, stat.st_size
+        except OSError:
+            key_mtime, key_size = -1, -1
+        entry = cached_files.get(module.relpath)
+        summary: ModuleSummary | None = None
+        if (
+            isinstance(entry, dict)
+            and entry.get("mtime_ns") == key_mtime
+            and entry.get("size") == key_size
+            and isinstance(entry.get("summary"), dict)
+        ):
+            try:
+                summary = ModuleSummary.from_dict(entry["summary"])
+                reused += 1
+            except (KeyError, TypeError, ValueError, IndexError):
+                summary = None
+        if summary is None:
+            summary = summarize_module(module)
+            built += 1
+        summaries[module.relpath] = summary
+        fresh[module.relpath] = {
+            "mtime_ns": key_mtime,
+            "size": key_size,
+            "summary": summary.to_dict(),
+        }
+    if cache_path is not None and fresh != cached_files:
+        save_section(
+            cache_path,
+            "callgraph",
+            {"version": SUMMARY_VERSION, "files": fresh},
+        )
+    if stats is not None:
+        stats["callgraph_files"] = len(summaries)
+        stats["callgraph_built"] = built
+        stats["callgraph_reused"] = reused
+    return ProjectGraph(summaries)

@@ -12,8 +12,12 @@ from repro.lint.checks import (  # noqa: F401  (registration side effect)
     determinism,
     fault_sites,
     lifecycle,
+    lock_order,
+    loop_affinity,
     parity,
     picklability,
+    shared_state,
+    transitive_blocking,
 )
 
 __all__ = [
@@ -21,6 +25,10 @@ __all__ = [
     "determinism",
     "fault_sites",
     "lifecycle",
+    "lock_order",
+    "loop_affinity",
     "parity",
     "picklability",
+    "shared_state",
+    "transitive_blocking",
 ]

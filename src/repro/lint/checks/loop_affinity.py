@@ -1,0 +1,158 @@
+"""REP008 — asyncio loop state is only touched from the loop thread.
+
+``asyncio`` objects are not thread-safe by design: ``queue.put_nowait``
+from the dispatcher thread corrupts the queue's internal deque wakeup
+bookkeeping, ``future.set_result`` from a pool worker races the loop's
+callback scheduling, and both fail rarely enough to survive review and
+kill a soak run. The one sanctioned bridge is
+``loop.call_soon_threadsafe`` / ``asyncio.run_coroutine_threadsafe``,
+which is exactly how the service's dispatcher hands deliveries to the
+event loop today.
+
+The checker classifies every function's reachable execution contexts
+from the call graph — ``thread`` (``Thread(target=...)`` roots),
+``worker`` (executor-submitted callables), ``loop`` (async defs and
+loop-scheduled callbacks) — and flags loop-affine operations
+(``put_nowait``/``set_result``/``set_exception``, ``Event.set``/
+``clear``, ``call_soon``/``call_later``/``call_at``, ``create_task``,
+``run_in_executor``, ``loop.stop``) on receivers whose static type is
+an ``asyncio`` object, inside functions reachable from a thread or
+worker context. Handing the operation *as a callback* to
+``call_soon_threadsafe``/``run_coroutine_threadsafe`` is the fix and
+is never flagged — the callable is then invoked on the loop.
+
+Waive when a function the graph labels thread-reachable is in fact
+only ever run on the loop (the graph cannot always see who schedules
+what), naming the scheduling site.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register_check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import ProjectGraph
+    from repro.lint.context import ModuleContext, ProjectContext
+    from repro.lint.flow import FunctionInfo, ModuleSummary
+
+__all__ = ["LoopAffinityCheck"]
+
+#: Method names that mutate asyncio object state and must run on the
+#: loop thread. ``set``/``clear`` are included for ``asyncio.Event``;
+#: the receiver-type gate keeps ``threading.Event`` variants silent.
+_LOOP_AFFINE_METHODS = {
+    "put_nowait",
+    "get_nowait",
+    "set_result",
+    "set_exception",
+    "set",
+    "clear",
+    "call_soon",
+    "call_later",
+    "call_at",
+    "create_task",
+    "run_in_executor",
+    "stop",
+}
+
+
+def _receiver_type(
+    graph: "ProjectGraph",
+    summary: "ModuleSummary",
+    info: "FunctionInfo",
+    callee: str,
+) -> str | None:
+    """Static type of the receiver chain of ``callee`` (sans method)."""
+    receiver, _, _method = callee.rpartition(".")
+    if not receiver:
+        return None
+    if receiver.startswith("self."):
+        class_name = info.symbol.split(".", 1)[0]
+        current = summary.classes.get(class_name)
+        current_summary = summary
+        parts = receiver.split(".")[1:]
+        for index, attr in enumerate(parts):
+            if current is None:
+                return None
+            ctor = current.attr_types.get(attr)
+            if ctor is None:
+                return None
+            if index == len(parts) - 1:
+                return ctor
+            resolved = graph.resolve_class(current_summary, ctor)
+            if resolved is None:
+                return None
+            current_summary, current = resolved
+        return None
+    head = receiver.split(".", 1)[0]
+    local = info.local_types.get(head)
+    if local is not None and receiver == head:
+        return local
+    return None
+
+
+def _project_findings(project: "ProjectContext") -> list[tuple[str, int, int, str, str]]:
+    graph = project.graph
+    contexts = graph.contexts()
+    hits: list[tuple[str, int, int, str, str]] = []
+    for name in sorted(graph.functions):
+        summary, info = graph.functions[name]
+        if info.is_async:
+            continue
+        labels = contexts.get(name, frozenset())
+        if not labels & {"thread", "worker"}:
+            continue
+        origin = " and ".join(sorted(labels & {"thread", "worker"}))
+        for site in info.calls:
+            method = site.callee.rsplit(".", 1)[-1]
+            if method not in _LOOP_AFFINE_METHODS:
+                continue
+            receiver_type = _receiver_type(
+                graph, summary, info, site.callee
+            )
+            if receiver_type is None or not receiver_type.startswith("asyncio."):
+                continue
+            hits.append(
+                (
+                    summary.relpath,
+                    site.line,
+                    site.col,
+                    name.split(":", 1)[1],
+                    f"loop-affine call {method}() on {receiver_type} object "
+                    f"from {origin}-context code — asyncio state is not "
+                    "thread-safe",
+                )
+            )
+    return hits
+
+
+@register_check
+class LoopAffinityCheck(Checker):
+    rule = "REP008"
+    title = "asyncio loop state only touched from the loop thread"
+    hint = (
+        "bridge through loop.call_soon_threadsafe(fn, ...) or "
+        "asyncio.run_coroutine_threadsafe(coro, loop) — the only "
+        "thread-safe entry points into a running loop"
+    )
+
+    def run(
+        self, module: "ModuleContext", project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        hits = project.memo("rep008", lambda: _project_findings(project))
+        for relpath, line, col, symbol, message in hits:
+            if relpath != module.relpath:
+                continue
+            yield Finding(
+                path=relpath,
+                line=line,
+                col=col,
+                rule=self.rule,
+                message=message,
+                symbol=symbol,
+                hint=self.hint,
+            )
+

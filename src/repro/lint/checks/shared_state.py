@@ -1,0 +1,191 @@
+"""REP010 — shared mutable state is disciplined by a common lock.
+
+The registries, runners and stores are the classes whose instances are
+*deliberately* shared across execution contexts: the dispatcher thread
+completes jobs while the loop reads stats, pool workers publish
+artifacts while the main thread closes the runner. An instance
+attribute written from two of those contexts with no common lock is a
+data race that chaos tests only catch when the interleaving cooperates.
+
+The rule, per class in a ``platforms/`` or ``service/`` module that
+owns at least one lock attribute: for every instance attribute
+*written* outside ``__init__``, collect the execution contexts
+(``loop`` / ``thread`` / ``worker`` / main) of the methods touching
+it. If the attribute is reached from ≥2 distinct contexts — or from
+the ``worker`` context at all, since an executor pool runs the same
+method from many threads at once — every
+*significant* access — writes, and compound reads like iteration,
+``.values()``/``.items()``, ``list(self.attr)`` — must happen with one
+common lock held (site-held ∪ locks held on **every** path into the
+method, so call-with-lock-held helpers stay clean). Single-key reads
+(``self._jobs[key]``, ``key in self._jobs``) are exempt: CPython's GIL
+makes individual dict/list operations atomic; it is the compound
+observations that tear.
+
+One finding per (attribute, method) pair that touches the attribute
+outside the common lock — precise enough to fix or waive each site on
+its own. Waive when an access is provably safe without the lock (e.g.
+a monotonic flag read on a hot path, or publication ordered by a
+queue), naming the happens-before argument.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import Checker, register_check
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import ModuleContext, ProjectContext
+    from repro.lint.flow import AttrAccess
+
+__all__ = ["SharedStateCheck"]
+
+#: Path components that put a module in scope — the shared-instance
+#: surface of the repo (runners/stores and the service layer).
+_SCOPE_DIRS = {"platforms", "service"}
+
+#: Access kinds that must happen under the common lock.
+_SIGNIFICANT = {"write", "iterate"}
+
+
+def _in_scope(relpath: str) -> bool:
+    return bool(_SCOPE_DIRS & set(relpath.split("/")))
+
+
+def _project_findings(project: "ProjectContext") -> list[tuple[str, int, int, str, str]]:
+    graph = project.graph
+    contexts = graph.contexts()
+    hits: list[tuple[str, int, int, str, str]] = []
+
+    for relpath in sorted(graph.summaries):
+        summary = graph.summaries[relpath]
+        if not _in_scope(relpath):
+            continue
+        for class_name in sorted(summary.classes):
+            class_info = summary.classes[class_name]
+            if not class_info.lock_attrs:
+                continue  # lock-free classes manage sharing elsewhere
+
+            # attr → [(qualname, symbol, access, effective-held)]
+            touches: dict[
+                str, list[tuple[str, str, "AttrAccess", frozenset[str]]]
+            ] = {}
+            written_outside_init: set[str] = set()
+            for symbol, info in summary.functions.items():
+                if symbol.split(".", 1)[0] != class_name:
+                    continue
+                method = symbol.split(".")[-1]
+                name = f"{summary.modname}:{symbol}"
+                for access in info.accesses:
+                    if access.attr in class_info.lock_attrs:
+                        continue  # the locks themselves
+                    held = graph.effective_held_all(name, access.held)
+                    touches.setdefault(access.attr, []).append(
+                        (name, symbol, access, held)
+                    )
+                    if access.kind == "write" and method != "__init__":
+                        written_outside_init.add(access.attr)
+
+            for attr in sorted(written_outside_init):
+                records = touches.get(attr, [])
+                active = [
+                    record
+                    for record in records
+                    if record[1].split(".")[-1] != "__init__"
+                ]
+                attr_contexts: set[str] = set()
+                for name, _symbol, _access, _held in active:
+                    labels = contexts.get(name, frozenset())
+                    attr_contexts.update(labels if labels else {"main"})
+                # "worker" alone is already concurrent: an executor pool
+                # runs the same method from N threads at once. The loop
+                # and the dispatcher thread are single contexts — they
+                # only race when a *second* context joins in.
+                if len(attr_contexts) < 2 and "worker" not in attr_contexts:
+                    continue
+                significant = [
+                    record
+                    for record in active
+                    if record[2].kind in _SIGNIFICANT
+                ]
+                if not significant:
+                    continue
+                common = frozenset.intersection(
+                    *(held for _, _, _, held in significant)
+                )
+                if common:
+                    continue  # every significant access shares a lock
+                # Presume the most-held lock is the intended guard and
+                # flag the sites that miss it (deterministic tally).
+                tally: dict[str, int] = {}
+                for _, _, _, held in significant:
+                    for token in held:
+                        tally[token] = tally.get(token, 0) + 1
+                guard = (
+                    max(sorted(tally), key=lambda token: tally[token])
+                    if tally
+                    else None
+                )
+                flagged: set[str] = set()
+                for name, symbol, access, held in significant:
+                    if guard is not None and guard in held:
+                        continue
+                    if symbol in flagged:
+                        continue
+                    flagged.add(symbol)
+                    ctx = ",".join(sorted(attr_contexts))
+                    where = (
+                        f"outside {_short(guard)}"
+                        if guard is not None
+                        else "with no lock held"
+                    )
+                    hits.append(
+                        (
+                            relpath,
+                            access.line,
+                            access.col,
+                            symbol,
+                            f"attribute {class_name}.{attr} is shared "
+                            f"across contexts ({ctx}) but "
+                            f"{symbol.split('.')[-1]}() accesses it "
+                            f"{where}",
+                        )
+                    )
+    return hits
+
+
+def _short(token: str) -> str:
+    parts = token.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 2 else token
+
+
+@register_check
+class SharedStateCheck(Checker):
+    rule = "REP010"
+    title = "cross-context instance state accessed under a common lock"
+    hint = (
+        "take the class's lock around every write and compound read of "
+        "the attribute (single-key reads are GIL-atomic and exempt), "
+        "or waive with the happens-before argument"
+    )
+
+    def run(
+        self, module: "ModuleContext", project: "ProjectContext"
+    ) -> Iterator[Finding]:
+        if not _in_scope(module.relpath):
+            return
+        hits = project.memo("rep010", lambda: _project_findings(project))
+        for relpath, line, col, symbol, message in hits:
+            if relpath != module.relpath:
+                continue
+            yield Finding(
+                path=relpath,
+                line=line,
+                col=col,
+                rule=self.rule,
+                message=message,
+                symbol=symbol,
+                hint=self.hint,
+            )

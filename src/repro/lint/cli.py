@@ -16,7 +16,7 @@ from pathlib import Path
 from repro.lint.baseline import BaselineError, load_baseline, write_baseline
 from repro.lint.engine import lint_paths
 from repro.lint.registry import all_checks
-from repro.lint.report import render_json, render_text
+from repro.lint.report import render_json, render_sarif, render_text
 
 __all__ = ["main", "add_lint_arguments", "run_lint"]
 
@@ -52,9 +52,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format",
+        help="report format (sarif = SARIF 2.1.0 for code scanning)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="include analysis-cost counters (call-graph cache reuse) "
+        "in text/json output",
     )
     parser.add_argument(
         "--baseline",
@@ -150,9 +156,11 @@ def run_lint(args: argparse.Namespace) -> int:
         return 0
 
     if args.format == "json":
-        print(render_json(result))
+        print(render_json(result, include_stats=args.stats))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
-        print(render_text(result))
+        print(render_text(result, include_stats=args.stats))
     return 0 if result.clean else 1
 
 

@@ -7,8 +7,14 @@ shared, so five checkers do not re-walk the tree five times for the
 same questions.
 
 :class:`ProjectContext` owns cross-file state: the repository root the
-relative paths are anchored to and the lazily built test-reference
-index (:mod:`repro.lint.refs`) the parity checker consults.
+relative paths are anchored to, the lazily built test-reference index
+(:mod:`repro.lint.refs`) the parity checker consults, and — since the
+engine went two-pass — the full set of parsed modules in the run plus
+the lazily built project call graph (:mod:`repro.lint.callgraph`) the
+concurrency rules consult. Cross-file checkers compute project-wide
+answers once through :meth:`ProjectContext.memo` and then yield only
+the findings belonging to the module currently being checked, so
+waiver and baseline filtering stay per-module.
 """
 
 from __future__ import annotations
@@ -16,6 +22,10 @@ from __future__ import annotations
 import ast
 from functools import cached_property
 from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import ProjectGraph
 
 __all__ = ["ModuleContext", "ProjectContext", "dotted_name"]
 
@@ -35,7 +45,9 @@ def dotted_name(node: ast.AST) -> str | None:
 class ModuleContext:
     """One parsed source file plus shared derived lookups."""
 
-    def __init__(self, path: Path, relpath: str, source: str, tree: ast.Module):
+    def __init__(
+        self, path: Path, relpath: str, source: str, tree: ast.Module
+    ) -> None:
         self.path = path
         #: Repo-relative path with ``/`` separators (finding identity).
         self.relpath = relpath
@@ -177,11 +189,54 @@ class ProjectContext:
         tests_root: Path,
         *,
         cache_path: Path | None = None,
-    ):
+    ) -> None:
         #: Anchor of every finding's relative path.
         self.root = root
         self.tests_root = tests_root
         self.cache_path = cache_path
+        #: Every module in this run, keyed by relpath — populated by the
+        #: engine's index pass before any checker runs.
+        self.modules: dict[str, ModuleContext] = {}
+        #: Counters surfaced through ``repro lint --stats``.
+        self.stats: dict[str, int] = {}
+        self._graph: "ProjectGraph | None" = None
+        self._memo: dict[str, Any] = {}
+
+    def add_module(self, module: ModuleContext) -> None:
+        """Register one parsed module (index pass)."""
+        self.modules[module.relpath] = module
+
+    @property
+    def graph(self) -> "ProjectGraph":
+        """The project call graph over this run's module set.
+
+        Built lazily on first use (only the concurrency rules pay for
+        it) from the per-file summaries cached in the shared cache
+        file. Single-file runs degrade gracefully: the graph then only
+        knows that one module, so interprocedural rules see direct
+        facts only.
+        """
+        if self._graph is None:
+            from repro.lint.callgraph import build_graph
+
+            self._graph = build_graph(
+                self.modules.values(),
+                cache_path=self.cache_path,
+                stats=self.stats,
+            )
+            self.stats["callgraph_functions"] = len(self._graph.functions)
+            self.stats["callgraph_edges"] = self._graph.edge_count()
+        return self._graph
+
+    def memo(self, key: str, factory: Callable[[], Any]) -> Any:
+        """Compute a project-wide answer once per run, by key.
+
+        Cross-file checkers run once per module; this is how their
+        expensive whole-project analysis runs once per *run* instead.
+        """
+        if key not in self._memo:
+            self._memo[key] = factory()
+        return self._memo[key]
 
     @cached_property
     def test_identifiers(self) -> frozenset[str]:

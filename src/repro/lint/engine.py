@@ -1,10 +1,19 @@
-"""The lint engine: discover, parse, check, waive, baseline.
+"""The lint engine: discover, parse, index, check, waive, baseline.
 
-One :func:`lint_paths` call is one run: it walks the requested paths,
-parses each Python file once into a :class:`ModuleContext`, hands the
-context to every registered checker, then post-filters raw findings
-through the file's inline waivers and the committed baseline. The
-result separates *actionable* findings (these fail the run) from
+One :func:`lint_paths` call is one run, in two passes:
+
+* **index pass** — walk the requested paths, parse each Python file
+  once into a :class:`ModuleContext`, and register every module on the
+  :class:`ProjectContext`. After this pass cross-file state (the call
+  graph, the test-reference index) can be built over the *complete*
+  module set.
+* **check pass** — hand each module to every registered checker, then
+  post-filter raw findings through the file's inline waivers and the
+  committed baseline. Cross-file checkers compute their project-wide
+  analysis once (memoized on the project) and yield findings only for
+  the module under check, so suppression stays per-module.
+
+The result separates *actionable* findings (these fail the run) from
 waived and baselined ones (reported as counts so suppression stays
 visible).
 
@@ -23,7 +32,7 @@ from typing import Iterable, Sequence
 from repro.lint.context import ModuleContext, ProjectContext
 from repro.lint.findings import Finding
 from repro.lint.registry import all_checks, get_check
-from repro.lint.waivers import WAIVER_RULE, parse_waivers
+from repro.lint.waivers import WAIVER_RULE, Waiver, WaiverProblem, parse_waivers
 
 __all__ = ["LintResult", "lint_paths", "iter_python_files"]
 
@@ -51,6 +60,8 @@ class LintResult:
     baselined: list[Finding] = field(default_factory=list)
     #: Number of files checked.
     files: int = 0
+    #: Analysis-cost counters (``--stats``): call-graph cache reuse etc.
+    stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -87,6 +98,52 @@ def _relpath(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def _infra_finding(relpath: str, line: int, col: int, message: str, hint: str = "") -> Finding:
+    return Finding(
+        path=relpath,
+        line=line,
+        col=col,
+        rule=WAIVER_RULE,
+        message=message,
+        symbol="",
+        hint=hint,
+    )
+
+
+def _index_pass(
+    paths: Sequence[Path], root: Path, project: ProjectContext, result: LintResult
+) -> list[tuple[ModuleContext, list[Waiver], list[WaiverProblem]]]:
+    """Parse every file; register modules; collect parse-failure findings."""
+    indexed: list[tuple[ModuleContext, list[Waiver], list[WaiverProblem]]] = []
+    for path in iter_python_files(paths):
+        relpath = _relpath(path, root)
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            result.findings.append(
+                _infra_finding(relpath, 1, 0, f"cannot read file: {exc}")
+            )
+            continue
+        result.files += 1
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            result.findings.append(
+                _infra_finding(
+                    relpath,
+                    exc.lineno or 1,
+                    (exc.offset or 1) - 1,
+                    f"cannot parse file: {exc.msg}",
+                )
+            )
+            continue
+        module = ModuleContext(path, relpath, source, tree)
+        project.add_module(module)
+        waivers, problems = parse_waivers(source)
+        indexed.append((module, waivers, problems))
+    return indexed
+
+
 def lint_paths(
     paths: Sequence[Path],
     *,
@@ -108,42 +165,12 @@ def lint_paths(
     project = ProjectContext(root, tests_root, cache_path=cache_path)
     result = LintResult()
 
-    for path in iter_python_files(paths):
-        relpath = _relpath(path, root)
-        try:
-            source = path.read_text()
-        except (OSError, UnicodeDecodeError) as exc:
-            result.findings.append(
-                Finding(
-                    path=relpath,
-                    line=1,
-                    col=0,
-                    rule=WAIVER_RULE,
-                    message=f"cannot read file: {exc}",
-                    symbol="",
-                    hint="",
-                )
-            )
-            continue
-        result.files += 1
-        try:
-            tree = ast.parse(source)
-        except SyntaxError as exc:
-            result.findings.append(
-                Finding(
-                    path=relpath,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule=WAIVER_RULE,
-                    message=f"cannot parse file: {exc.msg}",
-                    symbol="",
-                    hint="",
-                )
-            )
-            continue
-        module = ModuleContext(path, relpath, source, tree)
-        waivers, problems = parse_waivers(source)
+    # Pass 1: parse and register every module before any checker runs,
+    # so cross-file rules see the complete project.
+    indexed = _index_pass(paths, root, project, result)
 
+    # Pass 2: check each module against every rule.
+    for module, waivers, problems in indexed:
         raw: list[Finding] = []
         for checker in checkers:
             raw.extend(checker.run(module, project))
@@ -152,13 +179,11 @@ def lint_paths(
             # never waivable — a waiver that cannot be parsed must not
             # be able to suppress its own diagnosis.
             raw.append(
-                Finding(
-                    path=relpath,
-                    line=problem.line,
-                    col=problem.col,
-                    rule=WAIVER_RULE,
-                    message=problem.message,
-                    symbol="",
+                _infra_finding(
+                    module.relpath,
+                    problem.line,
+                    problem.col,
+                    problem.message,
                     hint="see the waiver syntax in README "
                     "(# repro: lint-ok[RULE] justification)",
                 )
@@ -175,6 +200,8 @@ def lint_paths(
             else:
                 result.findings.append(finding)
 
+    result.stats = dict(project.stats)
+    result.stats["files"] = result.files
     result.findings.sort()
     result.waived.sort()
     result.baselined.sort()

@@ -1,0 +1,756 @@
+"""Conservative intra-procedural dataflow summaries for one module.
+
+The concurrency rules (REP007–REP010) never look at raw ASTs: they
+consume :class:`ModuleSummary` objects — one per file — that record,
+for every function, what it *does* in concurrency terms:
+
+* which locks it acquires (``with`` blocks over ``threading.Lock`` /
+  ``RLock`` / ``Condition`` / ``asyncio.Lock`` attributes, module-level
+  locks, lock-provider method calls, and ``fcntl.flock`` LOCK_EX /
+  LOCK_UN pairs) and which locks were already held at each acquisition;
+* every call it makes, with the set of locks held at the call site and
+  whether the call is awaited;
+* every callable it hands to a scheduling primitive (``Thread(target=
+  ...)``, ``pool.submit``/``pool.map``, ``run_in_executor``,
+  ``call_soon_threadsafe``, ``call_soon``, signal handlers …) and the
+  execution context that primitive implies;
+* every ``self.<attr>`` read/write/iteration, with the held-lock set.
+
+The walk is deliberately conservative and flow-*ordered* rather than
+flow-*precise*: statements are visited in source order, ``with`` scopes
+push and pop held locks, ``fcntl.flock`` EX/UN calls toggle a per-fd
+token, and branches simply inherit the current held set. Locks bound to
+plain local variables are ignored — a lock that never escapes a frame
+cannot be contended. Nested ``def``/``async def`` bodies are summarized
+as separate functions (they run whenever the caller schedules them, not
+inline).
+
+Summaries are plain data with an exact JSON round-trip
+(:meth:`ModuleSummary.to_dict` / :meth:`ModuleSummary.from_dict`) so
+the call graph can cache them per file keyed by ``(mtime_ns, size)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.lint.context import ModuleContext, dotted_name
+
+__all__ = [
+    "AttrAccess",
+    "CallRef",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "LockAcquire",
+    "ModuleSummary",
+    "SUMMARY_VERSION",
+    "module_name",
+    "summarize_module",
+]
+
+#: Schema version of the serialized summary; bump on layout changes
+#: (invalidates only the ``callgraph`` cache section, not ``refs``).
+SUMMARY_VERSION = 3
+
+#: Constructors whose result is a lock object, mapped to lock kind.
+#: ``threading.Condition`` wraps an RLock by default, so re-entering it
+#: from the same thread is safe — it is classified reentrant.
+_LOCK_CTORS = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+    "asyncio.Lock": "asyncio-lock",
+}
+
+#: Lock kinds that deadlock when re-acquired by their holder. Provider
+#: methods (``with self._shard_lock(...)``) default to non-reentrant:
+#: both concrete providers in this repo hand out ``threading.Lock`` or
+#: ``fcntl.flock`` regions, and flock self-contends across two opens of
+#: the same file even within one process.
+NON_REENTRANT_KINDS = frozenset({"lock", "asyncio-lock", "flock", "provider"})
+
+#: Methods whose receiver-name suggests a per-call lock/guard object.
+_PROVIDER_MARKERS = ("lock", "cond", "guard")
+
+#: Calls that schedule their argument on another execution context.
+#: Maps resolved callee (or trailing attribute) to (context, which
+#: positional argument holds the callable; ``"target"`` = kwarg).
+_THREAD_SCHEDULERS = {"threading.Thread": "target"}
+_WORKER_METHODS = {"submit": 0, "map": 0}
+_LOOP_SAFE_METHODS = {"call_soon_threadsafe": 0, "run_coroutine_threadsafe": 0}
+_LOOP_METHODS = {
+    "call_soon": 0,
+    "call_later": 1,
+    "call_at": 1,
+    "add_signal_handler": 1,
+}
+_EXECUTOR_METHODS = {"run_in_executor": 1}
+
+#: Receivers-of-iteration method names: reading one of these off a
+#: shared attribute observes the whole container, which is *not*
+#: atomic under concurrent mutation (unlike single-key dict ops).
+_COMPOUND_METHODS = {"values", "items", "keys", "copy"}
+_COMPOUND_WRAPPERS = {"list", "dict", "set", "tuple", "sorted", "iter", "sum"}
+
+
+@dataclass(frozen=True)
+class LockAcquire:
+    """One lock acquisition site."""
+
+    token: str  #: canonical lock name, e.g. ``repro.x.Cls._lock``
+    kind: str  #: lock / rlock / condition / asyncio-lock / flock / provider
+    line: int
+    col: int
+    held: tuple[str, ...]  #: locks already held at this site, in order
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression with its concurrency-relevant context."""
+
+    callee: str  #: alias-resolved dotted target (``self.`` kept verbatim)
+    line: int
+    col: int
+    held: tuple[str, ...]
+    awaited: bool
+
+
+@dataclass(frozen=True)
+class CallRef:
+    """A callable handed to a scheduling primitive (not called here)."""
+
+    target: str  #: raw dotted name of the scheduled callable
+    context: str  #: thread / worker / loop
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self.<attr>`` touch inside a method."""
+
+    attr: str
+    kind: str  #: read / write / iterate
+    line: int
+    col: int
+    held: tuple[str, ...]
+
+
+@dataclass
+class FunctionInfo:
+    """Summary of one function/method (nested defs are separate)."""
+
+    symbol: str  #: module-relative dotted symbol (``Cls.meth.inner``)
+    is_async: bool
+    lineno: int
+    calls: list[CallSite] = field(default_factory=list)
+    refs: list[CallRef] = field(default_factory=list)
+    acquires: list[LockAcquire] = field(default_factory=list)
+    accesses: list[AttrAccess] = field(default_factory=list)
+    #: local name → resolved constructor dotted name (``asyncio.Queue``).
+    local_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    """Concurrency-relevant shape of one class."""
+
+    name: str
+    bases: list[str] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)
+    #: ``self.X = threading.Lock()``-style attributes → lock kind.
+    lock_attrs: dict[str, str] = field(default_factory=dict)
+    #: ``self.X = Ctor(...)`` → resolved constructor dotted name.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the concurrency rules need to know about one file."""
+
+    relpath: str
+    modname: str
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    imports: dict[str, str] = field(default_factory=dict)
+    #: module-level ``NAME = threading.Lock()`` globals → lock kind.
+    global_locks: dict[str, str] = field(default_factory=dict)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "relpath": self.relpath,
+            "modname": self.modname,
+            "imports": dict(sorted(self.imports.items())),
+            "global_locks": dict(sorted(self.global_locks.items())),
+            "classes": {
+                name: {
+                    "bases": info.bases,
+                    "methods": info.methods,
+                    "lock_attrs": dict(sorted(info.lock_attrs.items())),
+                    "attr_types": dict(sorted(info.attr_types.items())),
+                }
+                for name, info in sorted(self.classes.items())
+            },
+            "functions": {
+                symbol: {
+                    "is_async": fn.is_async,
+                    "lineno": fn.lineno,
+                    "calls": [
+                        [c.callee, c.line, c.col, list(c.held), c.awaited]
+                        for c in fn.calls
+                    ],
+                    "refs": [
+                        [r.target, r.context, r.line, r.col]
+                        for r in fn.refs
+                    ],
+                    "acquires": [
+                        [a.token, a.kind, a.line, a.col, list(a.held)]
+                        for a in fn.acquires
+                    ],
+                    "accesses": [
+                        [a.attr, a.kind, a.line, a.col, list(a.held)]
+                        for a in fn.accesses
+                    ],
+                    "local_types": dict(sorted(fn.local_types.items())),
+                }
+                for symbol, fn in sorted(self.functions.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ModuleSummary":
+        summary = cls(
+            relpath=data["relpath"],
+            modname=data["modname"],
+            imports=dict(data.get("imports", {})),
+            global_locks=dict(data.get("global_locks", {})),
+        )
+        for name, raw in data.get("classes", {}).items():
+            summary.classes[name] = ClassInfo(
+                name=name,
+                bases=list(raw.get("bases", [])),
+                methods=list(raw.get("methods", [])),
+                lock_attrs=dict(raw.get("lock_attrs", {})),
+                attr_types=dict(raw.get("attr_types", {})),
+            )
+        for symbol, raw in data.get("functions", {}).items():
+            fn = FunctionInfo(
+                symbol=symbol,
+                is_async=bool(raw["is_async"]),
+                lineno=int(raw["lineno"]),
+                local_types=dict(raw.get("local_types", {})),
+            )
+            fn.calls = [
+                CallSite(c[0], c[1], c[2], tuple(c[3]), c[4])
+                for c in raw.get("calls", [])
+            ]
+            fn.refs = [
+                CallRef(r[0], r[1], r[2], r[3]) for r in raw.get("refs", [])
+            ]
+            fn.acquires = [
+                LockAcquire(a[0], a[1], a[2], a[3], tuple(a[4]))
+                for a in raw.get("acquires", [])
+            ]
+            fn.accesses = [
+                AttrAccess(a[0], a[1], a[2], a[3], tuple(a[4]))
+                for a in raw.get("accesses", [])
+            ]
+            summary.functions[symbol] = fn
+        return summary
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/lint/flow.py`` → ``repro.lint.flow``; ``pkg/__init__.py``
+    → ``pkg``. Paths outside a ``src/`` layout keep their directories.
+    """
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+def _resolve_dotted(imports: dict[str, str], dotted: str) -> str:
+    """Alias-resolve the head of a dotted name."""
+    head, _, rest = dotted.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return dotted
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _flock_operation(
+    imports: dict[str, str], call: ast.Call
+) -> str | None:
+    """``"EX"``/``"SH"``/``"UN"`` for a ``fcntl.flock``/``lockf`` call."""
+    resolved = _resolve_dotted(imports, dotted_name(call.func) or "")
+    if resolved not in {"fcntl.flock", "fcntl.lockf"}:
+        return None
+    for arg in call.args[1:2]:
+        for node in ast.walk(arg):
+            name = dotted_name(node)
+            if name is None:
+                continue
+            flag = _resolve_dotted(imports, name)
+            if flag.endswith("LOCK_UN"):
+                return "UN"
+            if flag.endswith("LOCK_EX"):
+                return "EX"
+            if flag.endswith("LOCK_SH"):
+                return "SH"
+    return None
+
+
+class _FunctionWalker:
+    """Ordered statement walk of one function body."""
+
+    def __init__(
+        self,
+        summary: ModuleSummary,
+        info: FunctionInfo,
+        class_name: str | None,
+    ) -> None:
+        self.summary = summary
+        self.info = info
+        self.class_name = class_name
+        self.held: list[str] = []
+
+    # -- lock-token resolution -----------------------------------------
+
+    def _lock_token(self, expr: ast.expr) -> tuple[str, str] | None:
+        """``(token, kind)`` when a with-item expression is a lock."""
+        mod = self.summary.modname
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            if dotted.startswith("self.") and self.class_name:
+                attr = dotted[len("self."):]
+                info = self.summary.classes.get(self.class_name)
+                if info and attr in info.lock_attrs and "." not in attr:
+                    token = f"{mod}.{self.class_name}.{attr}"
+                    return token, info.lock_attrs[attr]
+                return None
+            if dotted in self.summary.global_locks:
+                return f"{mod}.{dotted}", self.summary.global_locks[dotted]
+            return None
+        if isinstance(expr, ast.Call):
+            callee = dotted_name(expr.func)
+            if callee is None:
+                return None
+            name = callee.rsplit(".", 1)[-1]
+            if not any(marker in name.lower() for marker in _PROVIDER_MARKERS):
+                return None
+            if callee.startswith("self.") and self.class_name:
+                if "." in callee[len("self."):]:
+                    return None
+                return f"{mod}.{self.class_name}.{name}()", "provider"
+            if "." not in callee and callee not in self.summary.imports:
+                return f"{mod}.{name}()", "provider"
+        return None
+
+    # -- expression visitors -------------------------------------------
+
+    def _record_access(self, attr: str, kind: str, node: ast.AST) -> None:
+        self.info.accesses.append(
+            AttrAccess(
+                attr=attr,
+                kind=kind,
+                line=getattr(node, "lineno", self.info.lineno),
+                col=getattr(node, "col_offset", 0),
+                held=tuple(self.held),
+            )
+        )
+
+    def _self_attr(self, node: ast.AST) -> str | None:
+        """``attr`` when node is exactly ``self.attr``."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _record_refs(self, call: ast.Call, resolved: str) -> None:
+        """Scheduling primitives: record the scheduled callable + context."""
+
+        def _targets(spec: Any) -> list[tuple[str, ast.expr]]:
+            pairs: list[tuple[str, ast.expr]] = []
+            if spec == "target":
+                for kw in call.keywords:
+                    if kw.arg == "target":
+                        pairs.append(("thread", kw.value))
+            elif isinstance(spec, int) and len(call.args) > spec:
+                pairs.append(("", call.args[spec]))
+            return pairs
+
+        found: list[tuple[str, ast.expr]] = []
+        if resolved in _THREAD_SCHEDULERS:
+            found = _targets(_THREAD_SCHEDULERS[resolved])
+        else:
+            method = resolved.rsplit(".", 1)[-1]
+            if "." in resolved:
+                if method in _WORKER_METHODS:
+                    found = [
+                        ("worker", arg)
+                        for _, arg in _targets(_WORKER_METHODS[method])
+                    ]
+                elif method in _EXECUTOR_METHODS:
+                    found = [
+                        ("worker", arg)
+                        for _, arg in _targets(_EXECUTOR_METHODS[method])
+                    ]
+                elif method in _LOOP_SAFE_METHODS or method in _LOOP_METHODS:
+                    spec = (_LOOP_SAFE_METHODS | _LOOP_METHODS)[method]
+                    found = [("loop", arg) for _, arg in _targets(spec)]
+        for context, value in found:
+            target = dotted_name(value)
+            if target is None:
+                continue
+            self.info.refs.append(
+                CallRef(
+                    target=target,
+                    context=context or "thread",
+                    line=value.lineno,
+                    col=value.col_offset,
+                )
+            )
+
+    def _visit_call(self, call: ast.Call, awaited: bool) -> None:
+        dotted = dotted_name(call.func)
+        if dotted is not None:
+            resolved = (
+                dotted
+                if dotted.startswith("self.")
+                else _resolve_dotted(self.summary.imports, dotted)
+            )
+            operation = _flock_operation(self.summary.imports, call)
+            if operation is not None:
+                # Recorded both ways: as a lock acquisition (REP007)
+                # and as a call (the blocking closure sees the syscall).
+                self.info.calls.append(
+                    CallSite(
+                        callee=resolved,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        held=tuple(self.held),
+                        awaited=awaited,
+                    )
+                )
+                token = f"{self.summary.modname}.{self.info.symbol}.flock"
+                if operation in {"EX", "SH"}:
+                    self.info.acquires.append(
+                        LockAcquire(
+                            token=token,
+                            kind="flock",
+                            line=call.lineno,
+                            col=call.col_offset,
+                            held=tuple(self.held),
+                        )
+                    )
+                    if token not in self.held:
+                        self.held.append(token)
+                elif token in self.held:
+                    self.held.remove(token)
+            else:
+                self.info.calls.append(
+                    CallSite(
+                        callee=resolved,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        held=tuple(self.held),
+                        awaited=awaited,
+                    )
+                )
+                self._record_refs(call, resolved)
+            # Compound read: self.attr.values()/items()/keys()/copy().
+            if isinstance(call.func, ast.Attribute):
+                attr = self._self_attr(call.func.value)
+                if attr is not None and call.func.attr in _COMPOUND_METHODS:
+                    self._record_access(attr, "iterate", call.func.value)
+            # Wrapper iteration: list(self.attr), sorted(self.attr), …
+            if (
+                isinstance(call.func, ast.Name)
+                and call.func.id in _COMPOUND_WRAPPERS
+            ):
+                for arg in call.args[:1]:
+                    attr = self._self_attr(arg)
+                    if attr is not None:
+                        self._record_access(attr, "iterate", arg)
+
+    def _visit_expr(self, node: ast.expr | None, awaited: bool = False) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Await):
+            self._visit_expr(node.value, awaited=True)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, awaited)
+            # Arguments may contain further calls/accesses.
+            for arg in node.args:
+                self._visit_expr(arg)
+            for kw in node.keywords:
+                self._visit_expr(kw.value)
+            # The receiver chain of the call target: record plain reads
+            # of self attributes used as receivers (``self._jobs.get``).
+            if isinstance(node.func, ast.Attribute):
+                self._visit_expr(node.func.value)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = self._self_attr(node)
+            if attr is not None:
+                self._record_access(attr, "read", node)
+                return
+            self._visit_expr(node.value)
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for comp in node.generators:
+                attr = self._self_attr(comp.iter)
+                if attr is not None:
+                    self._record_access(attr, "iterate", comp.iter)
+                self._visit_expr(comp.iter)
+                for cond in comp.ifs:
+                    self._visit_expr(cond)
+            if isinstance(node, ast.DictComp):
+                self._visit_expr(node.key)
+                self._visit_expr(node.value)
+            else:
+                self._visit_expr(node.elt)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # nested callables are summarized separately
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._visit_expr(child)
+
+    def _visit_target(self, target: ast.expr) -> None:
+        """Assignment targets: ``self.attr = …`` and ``self.attr[k] = …``."""
+        attr = self._self_attr(target)
+        if attr is not None:
+            self._record_access(attr, "write", target)
+            return
+        if isinstance(target, ast.Subscript):
+            attr = self._self_attr(target.value)
+            if attr is not None:
+                self._record_access(attr, "write", target.value)
+                return
+            self._visit_expr(target.value)
+            self._visit_expr(target.slice)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._visit_target(element)
+            return
+        if isinstance(target, ast.Attribute):
+            self._visit_expr(target.value)
+
+    def _record_local_type(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+            resolved = dotted_name(value.func)
+            if resolved is not None and not resolved.startswith("self."):
+                self.info.local_types[target.id] = _resolve_dotted(
+                    self.summary.imports, resolved
+                )
+
+    def _mutating_method(self, call: ast.Call) -> None:
+        """``self.attr.append(...)``-style container mutation = write."""
+        if isinstance(call.func, ast.Attribute) and call.func.attr in {
+            "append", "add", "extend", "update", "setdefault", "pop",
+            "popitem", "remove", "discard", "clear", "insert",
+        }:
+            attr = self._self_attr(call.func.value)
+            if attr is not None:
+                self._record_access(attr, "write", call.func.value)
+
+    # -- statement walk ------------------------------------------------
+
+    def _stmts(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            pushed: list[str] = []
+            for item in stmt.items:
+                self._visit_expr(item.context_expr)
+                token = self._lock_token(item.context_expr)
+                if token is not None:
+                    name, kind = token
+                    self.info.acquires.append(
+                        LockAcquire(
+                            token=name,
+                            kind=kind,
+                            line=item.context_expr.lineno,
+                            col=item.context_expr.col_offset,
+                            held=tuple(self.held),
+                        )
+                    )
+                    self.held.append(name)
+                    pushed.append(name)
+            self._stmts(stmt.body)
+            for name in reversed(pushed):
+                if name in self.held:
+                    self.held.remove(name)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # summarized separately
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, ast.Assign):
+            self._visit_expr(stmt.value)
+            for target in stmt.targets:
+                self._visit_target(target)
+                self._record_local_type(target, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            self._visit_expr(stmt.value)
+            if stmt.value is not None:
+                self._visit_target(stmt.target)
+                self._record_local_type(stmt.target, stmt.value)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._visit_expr(stmt.value)
+            attr = self._self_attr(stmt.target)
+            if attr is not None:
+                self._record_access(attr, "write", stmt.target)
+            else:
+                self._visit_target(stmt.target)
+            return
+        if isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Call):
+                self._mutating_method(stmt.value)
+            self._visit_expr(stmt.value)
+            return
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._visit_expr(getattr(stmt, "value", None) or getattr(stmt, "exc", None))
+            return
+        if isinstance(stmt, ast.Assert):
+            self._visit_expr(stmt.test)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    attr = self._self_attr(target.value)
+                    if attr is not None:
+                        self._record_access(attr, "write", target.value)
+            return
+        if isinstance(stmt, ast.If):
+            self._visit_expr(stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._visit_expr(stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            attr = self._self_attr(stmt.iter)
+            if attr is not None:
+                self._record_access(attr, "iterate", stmt.iter)
+            self._visit_expr(stmt.iter)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            self._stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._stmts(handler.body)
+            self._stmts(stmt.orelse)
+            self._stmts(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Match):
+            self._visit_expr(stmt.subject)
+            for case in stmt.cases:
+                self._stmts(case.body)
+            return
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing to track.
+
+
+def _class_info(
+    module: ModuleContext, summary: ModuleSummary, node: ast.ClassDef
+) -> ClassInfo:
+    info = ClassInfo(name=node.name)
+    info.bases = [
+        _resolve_dotted(summary.imports, dotted)
+        for base in node.bases
+        if (dotted := dotted_name(base)) is not None
+    ]
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        info.methods.append(item.name)
+        for stmt in ast.walk(item):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if not isinstance(value, ast.Call):
+                continue
+            ctor = dotted_name(value.func)
+            if ctor is None or ctor.startswith("self."):
+                continue
+            resolved = _resolve_dotted(summary.imports, ctor)
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attr = target.attr
+                    if resolved in _LOCK_CTORS:
+                        info.lock_attrs[attr] = _LOCK_CTORS[resolved]
+                    info.attr_types.setdefault(attr, resolved)
+    return info
+
+
+def summarize_module(module: ModuleContext) -> ModuleSummary:
+    """Build the concurrency summary for one parsed module."""
+    summary = ModuleSummary(
+        relpath=module.relpath,
+        modname=module_name(module.relpath),
+        imports=dict(module.import_aliases),
+    )
+
+    # Module-level lock globals (``_ARM_LOCK = threading.Lock()``).
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            ctor = dotted_name(stmt.value.func)
+            if ctor is None:
+                continue
+            resolved = _resolve_dotted(summary.imports, ctor)
+            if resolved in _LOCK_CTORS:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        summary.global_locks[target.id] = _LOCK_CTORS[resolved]
+
+    # Classes first: the walker consults lock_attrs for with-tokens.
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            summary.classes[node.name] = _class_info(module, summary, node)
+
+    for node in module.functions:
+        symbol = module.symbol_for(node)
+        enclosing = module.enclosing_class(node)
+        info = FunctionInfo(
+            symbol=symbol,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            lineno=node.lineno,
+        )
+        walker = _FunctionWalker(
+            summary, info, enclosing.name if enclosing else None
+        )
+        walker._stmts(node.body)
+        summary.functions[symbol] = info
+    return summary

@@ -10,19 +10,23 @@ symbol absent from that set provably has no test touching it.
 Parsing a few hundred test files is the slow part, so the index is
 cached on disk keyed by ``(mtime_ns, size)`` per file: an unchanged
 tests tree re-keys in one stat pass (this is the cache the CI job
-persists between steps).
+persists between steps). The entries live in the ``refs`` section of
+the shared cache file (:mod:`repro.lint.cache`), alongside the call
+graph's ``callgraph`` section.
 """
 
 from __future__ import annotations
 
 import ast
-import json
 from pathlib import Path
+from typing import Any
+
+from repro.lint.cache import load_section, save_section
 
 __all__ = ["collect_identifiers", "test_reference_index"]
 
-#: Cache format version; bump when the identifier extraction changes.
-_CACHE_VERSION = 1
+#: Section format version; bump when the identifier extraction changes.
+_REFS_VERSION = 1
 
 
 def collect_identifiers(tree: ast.AST) -> set[str]:
@@ -44,33 +48,18 @@ def collect_identifiers(tree: ast.AST) -> set[str]:
     return identifiers
 
 
-def _load_cache(cache_path: Path | None) -> dict:
-    if cache_path is None:
+def _load_cache(cache_path: Path | None) -> dict[str, Any]:
+    section = load_section(cache_path, "refs")
+    if section.get("version") != _REFS_VERSION:
         return {}
-    try:
-        raw = json.loads(cache_path.read_text())
-    except (OSError, ValueError):
-        return {}
-    if not isinstance(raw, dict) or raw.get("version") != _CACHE_VERSION:
-        return {}
-    files = raw.get("files")
+    files = section.get("files")
     return files if isinstance(files, dict) else {}
 
 
-def _save_cache(cache_path: Path | None, files: dict) -> None:
-    if cache_path is None:
-        return
-    try:
-        cache_path.parent.mkdir(parents=True, exist_ok=True)
-        cache_path.write_text(
-            json.dumps(
-                {"version": _CACHE_VERSION, "files": files}, sort_keys=True
-            )
-        )
-    except OSError:
-        # The cache is a pure accelerator; failing to write it costs
-        # one re-parse on the next run, nothing else.
-        return
+def _save_cache(cache_path: Path | None, files: dict[str, Any]) -> None:
+    save_section(
+        cache_path, "refs", {"version": _REFS_VERSION, "files": files}
+    )
 
 
 def test_reference_index(
@@ -84,7 +73,7 @@ def test_reference_index(
     if not tests_root.is_dir():
         return frozenset()
     cached = _load_cache(cache_path)
-    fresh: dict[str, dict] = {}
+    fresh: dict[str, Any] = {}
     identifiers: set[str] = set()
     for path in sorted(tests_root.rglob("*.py")):
         key = str(path.relative_to(tests_root).as_posix())

@@ -1,24 +1,41 @@
-"""Text and JSON reporters for a :class:`~repro.lint.engine.LintResult`.
+"""Text, JSON and SARIF reporters for a :class:`~repro.lint.engine.LintResult`.
 
 The text reporter is for humans at a terminal (one ``path:line:col``
 line per finding, clickable in editors, plus a summary). The JSON
 reporter is the machine interface the CI job and the golden-file tests
 consume: stable key order, a schema version, and fingerprints so a
-finding can be copied into the baseline verbatim.
+finding can be copied into the baseline verbatim. The SARIF reporter
+emits SARIF 2.1.0 — the interchange format GitHub code scanning
+ingests — with the repo fingerprint carried as a partial fingerprint
+so re-runs update rather than duplicate alerts.
+
+``include_stats`` adds the run's analysis-cost counters (file count,
+call-graph cache reuse) to the text/JSON output; the default output is
+byte-identical to previous versions so golden files stay stable.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Any
 
 from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+from repro.lint.registry import all_checks
 
-__all__ = ["render_text", "render_json", "REPORT_VERSION"]
+__all__ = ["render_text", "render_json", "render_sarif", "REPORT_VERSION"]
 
 REPORT_VERSION = 1
 
+#: SARIF schema pin (2.1.0 is what GitHub code scanning accepts).
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
-def render_text(result: LintResult) -> str:
+
+def render_text(result: LintResult, *, include_stats: bool = False) -> str:
     lines: list[str] = []
     for finding in result.findings:
         lines.append(finding.render())
@@ -39,11 +56,16 @@ def render_text(result: LintResult) -> str:
         )
         summary += f" [{per_rule}]"
     lines.append(summary)
+    if include_stats:
+        stats = ", ".join(
+            f"{key}={value}" for key, value in sorted(result.stats.items())
+        )
+        lines.append(f"stats: {stats}")
     return "\n".join(lines)
 
 
-def render_json(result: LintResult) -> str:
-    payload = {
+def render_json(result: LintResult, *, include_stats: bool = False) -> str:
+    payload: dict[str, Any] = {
         "version": REPORT_VERSION,
         "files": result.files,
         "counts": result.counts(),
@@ -51,4 +73,83 @@ def render_json(result: LintResult) -> str:
         "waived": [finding.to_dict() for finding in result.waived],
         "baselined": [finding.to_dict() for finding in result.baselined],
     }
+    if include_stats:
+        payload["stats"] = dict(sorted(result.stats.items()))
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_result(finding: Finding, level: str) -> dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "level": level,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+                "logicalLocations": (
+                    [{"fullyQualifiedName": finding.symbol}]
+                    if finding.symbol
+                    else []
+                ),
+            }
+        ],
+        "partialFingerprints": {"reproLintFingerprint/v1": finding.fingerprint},
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 document for GitHub code scanning upload.
+
+    Actionable findings are ``error`` (they fail the run); waived and
+    baselined findings are included at ``note`` level with a
+    suppression record, so the code-scanning UI shows *why* a known
+    finding is quiet instead of silently dropping it.
+    """
+    rules = [
+        {
+            "id": cls.rule,
+            "name": cls.__name__,
+            "shortDescription": {"text": cls.title},
+            "help": {"text": cls.hint},
+        }
+        for cls in sorted(all_checks(), key=lambda cls: cls.rule)
+    ]
+    results: list[dict[str, Any]] = []
+    for finding in result.findings:
+        results.append(_sarif_result(finding, "error"))
+    for kind, findings in (
+        ("inline waiver", result.waived),
+        ("baseline", result.baselined),
+    ):
+        for finding in findings:
+            entry = _sarif_result(finding, "note")
+            entry["suppressions"] = [
+                {"kind": "inSource", "justification": f"suppressed by {kind}"}
+            ]
+            results.append(entry)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -261,10 +261,18 @@ class GridRunner:
         return self._artifacts[dataset]
 
     def platform(self, name: str) -> Platform:
-        """The (cached) platform instance for ``name``."""
-        if name not in self._platforms:
-            self._platforms[name] = create_platform(name, self.context)
-        return self._platforms[name]
+        """The (cached) platform instance for ``name``.
+
+        Double-checked under ``_lock``: pool workers resolve platforms
+        concurrently, and two unlocked builders would each construct
+        (and one would silently discard) an instance.
+        """
+        if name in self._platforms:
+            return self._platforms[name]
+        with self._lock:
+            if name not in self._platforms:
+                self._platforms[name] = create_platform(name, self.context)
+            return self._platforms[name]
 
     def warm_artifacts(
         self,

@@ -368,11 +368,12 @@ class JobRegistry:
             queued = sum(
                 1 for job in self._jobs.values() if job.state == _QUEUED
             )
+            running = sum(
+                1 for job in self._jobs.values() if job.state == _RUNNING
+            )
             snapshot = dict(self._counters)
         snapshot["queued"] = queued
-        snapshot["running"] = sum(
-            1 for job in self._jobs.values() if job.state == _RUNNING
-        )
+        snapshot["running"] = running
         return snapshot
 
     # ------------------------------------------------------------------
@@ -403,7 +404,7 @@ class JobRegistry:
         while len(batch) < max_n and self._rotation:
             client = self._rotation.popleft()
             queue = self._queues.get(client)
-            job = None
+            job: Job | None = None
             while queue and job is None:
                 candidate = queue.popleft()
                 # Cancelled jobs are pruned lazily here.

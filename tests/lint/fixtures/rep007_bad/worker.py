@@ -1,0 +1,46 @@
+"""REP007 fire fixture: inconsistent lock order and double-acquires.
+
+Expected findings (3):
+* one lock-order cycle — ``ab`` takes ``_a`` then ``_b`` while
+  ``ba`` → ``_helper`` takes ``_b`` then (interprocedurally) ``_a``;
+* a direct double-acquire of ``_a`` in ``twice``;
+* an interprocedural double-acquire of ``_b`` via ``reenter`` →
+  ``_again``.
+"""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.jobs = {}
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                self.jobs["ab"] = True
+
+    def ba(self):
+        with self._b:
+            self._helper()
+
+    def _helper(self):
+        # Called with _b held: acquiring _a here reverses ab's order.
+        with self._a:
+            self.jobs["ba"] = True
+
+    def twice(self):
+        with self._a:
+            with self._a:
+                self.jobs["twice"] = True
+
+    def reenter(self):
+        with self._b:
+            self._again()
+
+    def _again(self):
+        # Called with _b held: threading.Lock is not reentrant.
+        with self._b:
+            self.jobs["again"] = True

@@ -1,0 +1,38 @@
+"""REP007 silent fixture: one global order, reentrant reentry.
+
+``_a`` before ``_b`` on every path (including the interprocedural
+one), and the only nested re-acquire targets an RLock.
+"""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._r = threading.RLock()
+        self.jobs = {}
+
+    def one(self):
+        with self._a:
+            with self._b:
+                self.jobs["one"] = True
+
+    def two(self):
+        with self._a:
+            self._helper()
+
+    def _helper(self):
+        # Called with _a held: _b after _a matches ``one``'s order.
+        with self._b:
+            self.jobs["two"] = True
+
+    def nested_rlock(self):
+        with self._r:
+            self._again()
+
+    def _again(self):
+        # RLock re-acquisition by the holder is safe by design.
+        with self._r:
+            self.jobs["again"] = True

@@ -1,0 +1,25 @@
+"""REP008 fire fixture: thread-context code pokes asyncio state.
+
+``_worker`` runs on a ``threading.Thread`` and touches three
+loop-affine objects directly. Expected findings (3): ``put_nowait``
+on the queue, ``set`` on the event, ``call_soon`` on the loop.
+"""
+
+import asyncio
+import threading
+
+
+class Bridge:
+    def __init__(self):
+        self.loop = asyncio.new_event_loop()
+        self.queue = asyncio.Queue()
+        self.done = asyncio.Event()
+        self.thread = threading.Thread(target=self._worker)
+
+    def _worker(self):
+        self.queue.put_nowait("item")
+        self.done.set()
+        self.loop.call_soon(self._tick)
+
+    def _tick(self):
+        return self.queue.qsize()

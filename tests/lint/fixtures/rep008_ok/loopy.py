@@ -1,0 +1,29 @@
+"""REP008 silent fixture: the thread bridges via call_soon_threadsafe.
+
+Same shape as the fire fixture, but every touch of asyncio state from
+the worker thread goes through the sanctioned thread-safe entry point
+(the asyncio operation is handed over as a *callback*, not called).
+"""
+
+import asyncio
+import threading
+
+
+class Bridge:
+    def __init__(self):
+        self.loop = asyncio.new_event_loop()
+        self.queue = asyncio.Queue()
+        self.done = asyncio.Event()
+        self.thread = threading.Thread(target=self._worker)
+
+    def _worker(self):
+        self.loop.call_soon_threadsafe(self.queue.put_nowait, "item")
+        self.loop.call_soon_threadsafe(self.done.set)
+
+    async def drain(self):
+        # On the loop itself these operations are exactly right.
+        while not self.queue.empty():
+            item = self.queue.get_nowait()
+            self.queue.task_done()
+            if item is None:
+                self.done.set()

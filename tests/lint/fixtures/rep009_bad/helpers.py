@@ -1,0 +1,8 @@
+"""Innocent-looking sync helper, two modules away from the loop."""
+
+import time
+
+
+def slow_transform(rows):
+    time.sleep(0.5)
+    return [row * 2 for row in rows]

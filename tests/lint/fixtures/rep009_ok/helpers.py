@@ -1,0 +1,8 @@
+"""The same sync helper — safe when it runs on an executor."""
+
+import time
+
+
+def slow_transform(rows):
+    time.sleep(0.5)
+    return [row * 2 for row in rows]

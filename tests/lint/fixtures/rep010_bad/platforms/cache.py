@@ -1,0 +1,37 @@
+"""REP010 fire fixture: shared attributes leak outside the lock.
+
+``put`` runs on pool workers (``run`` submits it), ``reset`` and
+``snapshot`` run on whichever thread owns the instance. Expected
+findings (3):
+* ``put`` appends to ``_log`` without the lock (the reassignment in
+  ``reset`` holds it, so the lock is clearly the intended guard);
+* ``reset`` rebinds ``_entries`` without the lock;
+* ``snapshot`` copies ``_entries`` without the lock.
+"""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._log = []
+
+    def run(self, pool, keys):
+        for key in keys:
+            pool.submit(self.put, key)
+
+    def put(self, key):
+        value = key * 2
+        with self._lock:
+            self._entries[key] = value
+        self._log.append(key)
+
+    def reset(self):
+        self._entries = {}
+        with self._lock:
+            self._log = []
+
+    def snapshot(self):
+        return dict(self._entries)

@@ -1,0 +1,40 @@
+"""REP010 silent fixture: every significant access under the lock.
+
+Writes and compound reads all hold ``_lock``; the single-key read and
+membership probe at the bottom are GIL-atomic and deliberately
+lock-free — the rule must not flag them.
+"""
+
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._log = []
+
+    def run(self, pool, keys):
+        for key in keys:
+            pool.submit(self.put, key)
+
+    def put(self, key):
+        value = key * 2
+        with self._lock:
+            self._entries[key] = value
+            self._log.append(key)
+
+    def reset(self):
+        with self._lock:
+            self._entries = {}
+            self._log = []
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._entries)
+
+    def peek(self, key):
+        return self._entries.get(key)
+
+    def has(self, key):
+        return key in self._entries

@@ -1,0 +1,352 @@
+"""Unit tests for the call-graph layer under the concurrency rules.
+
+Covers the pieces the fixture-level tests in ``test_concurrency.py``
+exercise only end-to-end: name resolution (bare, aliased, dotted,
+``self.attr`` chains, nested scopes), flow-summary JSON round-trips,
+context propagation, the two held-lock fixed points, blocking-closure
+cycle safety, and the shared-cache invalidation that keeps warm runs
+cheap.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+from repro.lint.callgraph import ProjectGraph, build_graph, qualname
+from repro.lint.cache import load_section, save_section
+from repro.lint.context import ModuleContext
+from repro.lint.flow import SUMMARY_VERSION, ModuleSummary, module_name, summarize_module
+
+
+def _module(relpath, source, tmp_path=None):
+    if tmp_path is not None:
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    else:
+        path = Path(relpath)
+    return ModuleContext(
+        path=path, relpath=relpath, source=source, tree=ast.parse(source)
+    )
+
+
+def _graph(*modules):
+    return ProjectGraph(
+        {m.relpath: summarize_module(m) for m in modules}
+    )
+
+
+def _edge_targets(graph, caller):
+    return {callee for callee, _site in graph.edges().get(caller, ())}
+
+
+class TestModuleName:
+    def test_src_layout_is_stripped(self):
+        assert module_name("src/repro/lint/flow.py") == "repro.lint.flow"
+
+    def test_package_init_names_the_package(self):
+        assert module_name("src/repro/__init__.py") == "repro"
+
+    def test_flat_layout_keeps_directories(self):
+        assert module_name("tools/gen.py") == "tools.gen"
+
+
+class TestSummaryRoundTrip:
+    SOURCE = (
+        "import threading\n"
+        "import fcntl\n"
+        "_GUARD = threading.Lock()\n"
+        "class Store:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._data = {}\n"
+        "    def save(self, fh, key):\n"
+        "        fcntl.flock(fh, fcntl.LOCK_EX)\n"
+        "        with self._lock:\n"
+        "            self._data[key] = 1\n"
+        "            self.notify()\n"
+        "    def notify(self):\n"
+        "        pass\n"
+        "def run(pool, store):\n"
+        "    pool.submit(store.save)\n"
+    )
+
+    def test_json_round_trip_is_lossless(self):
+        summary = summarize_module(_module("src/app/store.py", self.SOURCE))
+        wire = json.loads(json.dumps(summary.to_dict()))
+        assert ModuleSummary.from_dict(wire) == summary
+
+    def test_summary_captures_locks_and_held_sets(self):
+        summary = summarize_module(_module("src/app/store.py", self.SOURCE))
+        assert summary.global_locks == {"_GUARD": "lock"}
+        assert summary.classes["Store"].lock_attrs == {"_lock": "lock"}
+        save = summary.functions["Store.save"]
+        by_callee = {site.callee: site for site in save.calls}
+        # The method call inside the with-block carries the held token.
+        assert "app.store.Store._lock" in by_callee["self.notify"].held
+        # flock is visible both as an acquisition and as a call site.
+        assert "fcntl.flock" in by_callee
+        assert any(acq.kind == "flock" for acq in save.acquires)
+
+
+class TestResolution:
+    def test_bare_name_and_class_ctor_resolve_locally(self):
+        mod = _module(
+            "src/app/main.py",
+            "class Job:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+            "def helper():\n"
+            "    pass\n"
+            "def run():\n"
+            "    helper()\n"
+            "    Job()\n",
+        )
+        graph = _graph(mod)
+        assert _edge_targets(graph, "app.main:run") == {
+            "app.main:helper",
+            "app.main:Job.__init__",
+        }
+
+    def test_nested_functions_see_their_siblings(self):
+        mod = _module(
+            "src/app/main.py",
+            "def outer():\n"
+            "    def inner():\n"
+            "        pass\n"
+            "    inner()\n",
+        )
+        graph = _graph(mod)
+        assert _edge_targets(graph, "app.main:outer") == {
+            "app.main:outer.inner"
+        }
+
+    def test_alias_and_from_imports_cross_modules(self):
+        util = _module(
+            "src/app/util.py",
+            "def work():\n    pass\ndef other():\n    pass\n",
+        )
+        main = _module(
+            "src/app/main.py",
+            "import app.util as u\n"
+            "from app.util import other as renamed\n"
+            "def run():\n"
+            "    u.work()\n"
+            "    renamed()\n",
+        )
+        graph = _graph(util, main)
+        assert _edge_targets(graph, "app.main:run") == {
+            "app.util:work",
+            "app.util:other",
+        }
+
+    def test_self_attr_chain_follows_constructor_types(self):
+        storage = _module(
+            "src/app/storage.py",
+            "class Store:\n"
+            "    def save(self):\n"
+            "        pass\n",
+        )
+        main = _module(
+            "src/app/main.py",
+            "from app.storage import Store\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self.store = Store()\n"
+            "    def flush(self):\n"
+            "        self.store.save()\n",
+        )
+        graph = _graph(storage, main)
+        assert _edge_targets(graph, "app.main:Service.flush") == {
+            "app.storage:Store.save"
+        }
+
+    def test_unresolvable_externals_produce_no_edges(self):
+        mod = _module(
+            "src/app/main.py",
+            "import os\n"
+            "def run():\n"
+            "    os.getcwd()\n"
+            "    unknown_name()\n",
+        )
+        graph = _graph(mod)
+        assert graph.edges().get("app.main:run", []) == []
+
+
+class TestContexts:
+    SOURCE = (
+        "import threading\n"
+        "class Runner:\n"
+        "    def start(self):\n"
+        "        threading.Thread(target=self._worker).start()\n"
+        "    def _worker(self):\n"
+        "        self._helper()\n"
+        "    def _helper(self):\n"
+        "        pass\n"
+        "    async def drain(self):\n"
+        "        pass\n"
+        "    def schedule(self, pool):\n"
+        "        pool.submit(self._job)\n"
+        "    def _job(self):\n"
+        "        self.drain()\n"
+    )
+
+    def test_thread_and_worker_labels_propagate(self):
+        graph = _graph(_module("src/app/run.py", self.SOURCE))
+        contexts = graph.contexts()
+        assert contexts["app.run:Runner._worker"] == frozenset({"thread"})
+        assert contexts["app.run:Runner._helper"] == frozenset({"thread"})
+        assert contexts["app.run:Runner._job"] == frozenset({"worker"})
+
+    def test_propagation_does_not_cross_into_async(self):
+        # _job (worker) calls the async def: that only builds a
+        # coroutine — drain stays loop-only.
+        graph = _graph(_module("src/app/run.py", self.SOURCE))
+        assert graph.contexts()["app.run:Runner.drain"] == frozenset({"loop"})
+
+
+class TestHeldLockFixedPoints:
+    def test_any_is_union_and_all_is_intersection(self):
+        mod = _module(
+            "src/app/locks.py",
+            "import threading\n"
+            "_L = threading.Lock()\n"
+            "def locked():\n"
+            "    with _L:\n"
+            "        helper()\n"
+            "def unlocked():\n"
+            "    helper()\n"
+            "def helper():\n"
+            "    pass\n",
+        )
+        graph = _graph(mod)
+        name = qualname("app.locks", "helper")
+        assert graph.inherited_any()[name] == frozenset({"app.locks._L"})
+        assert graph.inherited_all()[name] == frozenset()
+
+    def test_all_keeps_lock_held_on_every_path(self):
+        mod = _module(
+            "src/app/locks.py",
+            "import threading\n"
+            "_L = threading.Lock()\n"
+            "def one():\n"
+            "    with _L:\n"
+            "        helper()\n"
+            "def two():\n"
+            "    with _L:\n"
+            "        helper()\n"
+            "def helper():\n"
+            "    pass\n",
+        )
+        graph = _graph(mod)
+        name = qualname("app.locks", "helper")
+        assert graph.inherited_all()[name] == frozenset({"app.locks._L"})
+
+
+class TestBlockingClosure:
+    def _is_blocking(self, callee, site):
+        return "sleeps" if callee == "time.sleep" else None
+
+    def test_mutual_recursion_terminates_and_reports(self):
+        mod = _module(
+            "src/app/loopy.py",
+            "import time\n"
+            "def f(n):\n"
+            "    g(n)\n"
+            "def g(n):\n"
+            "    time.sleep(1)\n"
+            "    f(n - 1)\n"
+            "def clean(n):\n"
+            "    if n:\n"
+            "        clean(n - 1)\n",
+        )
+        graph = _graph(mod)
+        closure = graph.blocking_closure(self._is_blocking)
+        assert closure["app.loopy:g"][0] == "sleeps"
+        reason, chain = closure["app.loopy:f"]
+        assert reason == "sleeps"
+        assert chain == ("app.loopy:f", "app.loopy:g")
+        assert "app.loopy:clean" not in closure
+
+    def test_awaited_calls_do_not_block(self):
+        mod = _module(
+            "src/app/ok.py",
+            "import asyncio\n"
+            "async def handler():\n"
+            "    await asyncio.sleep(1)\n",
+        )
+        graph = _graph(mod)
+        closure = graph.blocking_closure(
+            lambda callee, site: "sleeps" if callee.endswith("sleep") else None
+        )
+        assert closure == {}
+
+
+class TestSummaryCache:
+    def _write(self, tmp_path, name, body):
+        path = tmp_path / "src" / "app" / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(body)
+        return path
+
+    def _modules(self, tmp_path):
+        modules = []
+        for path in sorted((tmp_path / "src" / "app").glob("*.py")):
+            relpath = path.relative_to(tmp_path).as_posix()
+            source = path.read_text()
+            modules.append(
+                ModuleContext(
+                    path=path,
+                    relpath=relpath,
+                    source=source,
+                    tree=ast.parse(source),
+                )
+            )
+        return modules
+
+    def test_cold_then_warm_then_invalidate_one_file(self, tmp_path):
+        self._write(tmp_path, "a.py", "def a():\n    pass\n")
+        self._write(tmp_path, "b.py", "def b():\n    pass\n")
+        cache = tmp_path / "cache.json"
+
+        stats = {}
+        build_graph(self._modules(tmp_path), cache_path=cache, stats=stats)
+        assert stats == {
+            "callgraph_files": 2,
+            "callgraph_built": 2,
+            "callgraph_reused": 0,
+        }
+
+        stats = {}
+        build_graph(self._modules(tmp_path), cache_path=cache, stats=stats)
+        assert stats["callgraph_built"] == 0
+        assert stats["callgraph_reused"] == 2
+
+        # Change one file: only that summary is rebuilt.
+        self._write(tmp_path, "b.py", "def b():\n    return 1\n")
+        stats = {}
+        graph = build_graph(
+            self._modules(tmp_path), cache_path=cache, stats=stats
+        )
+        assert stats["callgraph_built"] == 1
+        assert stats["callgraph_reused"] == 1
+        assert "src.app.b:b" not in graph.functions  # sanity: src stripped
+        assert "app.b:b" in graph.functions
+
+    def test_cache_sections_coexist_and_corruption_recovers(self, tmp_path):
+        self._write(tmp_path, "a.py", "def a():\n    pass\n")
+        cache = tmp_path / "cache.json"
+        save_section(cache, "refs", {"version": 1, "files": {}})
+
+        build_graph(self._modules(tmp_path), cache_path=cache, stats=None)
+        payload = json.loads(cache.read_text())
+        assert payload["version"] == 2
+        assert set(payload) >= {"refs", "callgraph"}
+        assert payload["callgraph"]["version"] == SUMMARY_VERSION
+        assert load_section(cache, "refs") == {"version": 1, "files": {}}
+
+        cache.write_text("{not json")
+        stats = {}
+        build_graph(self._modules(tmp_path), cache_path=cache, stats=stats)
+        assert stats["callgraph_built"] == 1
+        assert json.loads(cache.read_text())["callgraph"]["files"]

@@ -68,8 +68,59 @@ class TestLintExitCodes:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for rule in (
+            "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP006", "REP007", "REP008", "REP009", "REP010",
+        ):
             assert rule in out
+
+    def test_sarif_format_is_valid_sarif(self, capsys):
+        code = lint_main(
+            _lint_args(str(FIXTURES / "rep010_bad"),
+                       "--rules", "REP010", "--format", "sarif")
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        results = document["runs"][0]["results"]
+        assert {entry["ruleId"] for entry in results} == {"REP010"}
+
+    def test_stats_flag_reports_callgraph_counters(self, capsys):
+        code = lint_main(
+            _lint_args(str(FIXTURES / "rep010_bad"),
+                       "--rules", "REP010", "--format", "json", "--stats")
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["stats"]
+        assert stats["files"] == stats["callgraph_files"] == 1
+        assert stats["callgraph_built"] == 1
+        assert stats["callgraph_reused"] == 0
+
+    def test_stats_cache_reuse_between_runs(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        args = [
+            "--root", str(FIXTURES), str(FIXTURES / "rep010_bad"),
+            "--rules", "REP010", "--format", "json", "--stats",
+            "--cache", str(cache),
+        ]
+        lint_main(args)
+        cold = json.loads(capsys.readouterr().out)["stats"]
+        assert cold["callgraph_built"] == 1
+        lint_main(args)
+        warm = json.loads(capsys.readouterr().out)["stats"]
+        assert warm["callgraph_built"] == 0
+        assert warm["callgraph_reused"] == warm["callgraph_files"] == 1
+
+    def test_stats_line_in_text_output(self, capsys):
+        code = lint_main(
+            _lint_args(str(FIXTURES / "rep010_bad"),
+                       "--rules", "REP010", "--stats")
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "stats: " in out
+        assert "callgraph_built=1" in out
 
     def test_write_baseline_then_clean(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"

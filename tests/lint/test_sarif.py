@@ -1,0 +1,98 @@
+"""SARIF reporter: pinned golden plus structural round-trip checks."""
+
+import json
+from pathlib import Path
+
+from repro.lint.registry import all_checks
+from repro.lint.report import render_sarif
+from tests.lint.conftest import lint_fixture
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+def _result():
+    # rep010_bad contributes error-level results; determinism_ok
+    # contributes waived findings → note-level results with
+    # suppression records.
+    return lint_fixture(
+        "rep010_bad", "determinism_ok.py", rules=["REP010", "REP001"]
+    )
+
+
+class TestSarifGolden:
+    def test_document_matches_golden(self):
+        """The full SARIF document is pinned byte-for-byte.
+
+        Regenerate after a deliberate change with:
+        ``PYTHONPATH=src python -m repro.lint --no-cache --format sarif \\
+        --root tests/lint/fixtures tests/lint/fixtures/rep010_bad \\
+        tests/lint/fixtures/determinism_ok.py --rules REP010,REP001 \\
+        > tests/lint/goldens/concurrency.sarif``
+        """
+        golden = (GOLDENS / "concurrency.sarif").read_text()
+        assert render_sarif(_result()) + "\n" == golden
+
+
+class TestSarifShape:
+    def test_envelope_and_rule_catalog(self):
+        document = json.loads(render_sarif(_result()))
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        # Every registered rule is in the catalog, not just the two
+        # that ran — code-scanning uploads need stable rule metadata.
+        assert [rule["id"] for rule in driver["rules"]] == sorted(
+            cls.rule for cls in all_checks()
+        )
+        assert run["originalUriBaseIds"]["SRCROOT"] == {"uri": "file:///"}
+
+    def test_findings_are_errors_with_fingerprints(self):
+        result = _result()
+        document = json.loads(render_sarif(result))
+        errors = [
+            entry
+            for entry in document["runs"][0]["results"]
+            if entry["level"] == "error"
+        ]
+        assert len(errors) == len(result.findings) == 3
+        for entry, finding in zip(errors, result.findings):
+            assert entry["ruleId"] == finding.rule
+            assert entry["partialFingerprints"] == {
+                "reproLintFingerprint/v1": finding.fingerprint
+            }
+            location = entry["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"] == finding.path
+            assert location["region"]["startLine"] == finding.line
+            # SARIF columns are 1-based; findings are 0-based.
+            assert location["region"]["startColumn"] == finding.col + 1
+
+    def test_waived_findings_become_suppressed_notes(self):
+        result = _result()
+        assert result.waived  # fixture really exercises the branch
+        document = json.loads(render_sarif(result))
+        notes = [
+            entry
+            for entry in document["runs"][0]["results"]
+            if entry["level"] == "note"
+        ]
+        assert len(notes) == len(result.waived)
+        for entry in notes:
+            (suppression,) = entry["suppressions"]
+            assert suppression["kind"] == "inSource"
+            assert suppression["justification"] == (
+                "suppressed by inline waiver"
+            )
+
+    def test_baselined_findings_are_suppressed_too(self):
+        noisy = lint_fixture("rep010_bad", rules=["REP010"])
+        baseline = frozenset(f.fingerprint for f in noisy.findings)
+        result = lint_fixture("rep010_bad", rules=["REP010"], baseline=baseline)
+        assert not result.findings
+        document = json.loads(render_sarif(result))
+        justifications = {
+            entry["suppressions"][0]["justification"]
+            for entry in document["runs"][0]["results"]
+        }
+        assert justifications == {"suppressed by baseline"}
